@@ -1,0 +1,451 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/negf"
+	"repro/internal/sparse"
+	"repro/internal/sse"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// timeIt runs f repeatedly until ~80 ms elapse and returns the per-call time.
+func timeIt(f func()) time.Duration {
+	f() // warm-up
+	var n int
+	start := time.Now()
+	for time.Since(start) < 80*time.Millisecond {
+		f()
+		n++
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// measuredDevice builds the scaled-down device used by the measured tables.
+func measuredDevice(quick bool) *device.Device {
+	p := device.TestParams(24, 4, 3)
+	p.NE = 24
+	p.Nomega = 4
+	if quick {
+		p = device.TestParams(12, 3, 2)
+		p.NE = 12
+		p.Nomega = 3
+	}
+	return device.MustBuild(p)
+}
+
+// runTable6 — CUDA-stream sweep (discrete-event model of the GF pipeline).
+func runTable6(bool) {
+	header("Table 6: Streams in Green's Functions (copy/compute overlap model)")
+	tasks := stream.GFTaskSet(64, 9.32, 0.082)
+	row("Streams", "Time [s]", "(paper [s])")
+	paper := map[int]float64{1: 10.07, 2: 9.94, 4: 9.86, 16: 9.61, 32: 9.32}
+	for _, r := range stream.Sweep(tasks, []int{1, 2, 4, 16, 32}) {
+		row(fmt.Sprintf("%d", r.Streams), f2(r.TimeSec), f2(paper[r.Streams]))
+	}
+}
+
+// runTable7 — sparse/dense multiplication methods on Hamiltonian-shaped
+// blocks (measured on this CPU; the paper measures P100/V100).
+func runTable7(quick bool) {
+	header("Table 7: Matrix Multiplication Performance (measured, CPU)")
+	n := 256
+	if quick {
+		n = 128
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Off-diagonal Hamiltonian blocks couple each atom to the few
+	// neighbours in the next slab: ~5% density.
+	spD := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.05 {
+				spD.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+	}
+	dn := linalg.New(n, n)
+	for i := range dn.Data {
+		dn.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	sp := sparse.FromDense(spD, 0)
+	spc := sp.ToCSC()
+
+	row("Method", "NN", "NT", "TN", "")
+	gNN := timeIt(func() { linalg.Mul(spD, dn) })
+	gNT := timeIt(func() { linalg.MatMul(spD, linalg.NoTrans, dn, linalg.Trans) })
+	gTN := timeIt(func() { linalg.MatMul(spD, linalg.Trans, dn, linalg.NoTrans) })
+	row("GEMM (dense)", gNN.String(), gNT.String(), gTN.String(), "")
+	cNN := timeIt(func() { sparse.CSRMM(sp, linalg.NoTrans, dn, linalg.NoTrans) })
+	cNT := timeIt(func() { sparse.CSRMM(sp, linalg.NoTrans, dn, linalg.Trans) })
+	cTN := timeIt(func() { sparse.CSRMM(sp, linalg.Trans, dn, linalg.NoTrans) })
+	row("CSRMM2", cNN.String(), cNT.String(), cTN.String(), "")
+	gi := timeIt(func() { sparse.GEMMI(dn, spc) })
+	row("GEMMI", gi.String(), "-", "-", "")
+	best := cNN
+	if cNT < best {
+		best = cNT
+	}
+	if cTN < best {
+		best = cTN
+	}
+	fmt.Printf("\nshape check: sparse kernels beat dense GEMM %.1fx (paper: 6-10x on GPUs).\n",
+		float64(gNN)/float64(best))
+	fmt.Println("(on GPUs the paper finds NT fastest and TN slowest; CPU cache behaviour reorders the modes)")
+}
+
+// runTable8 — the F·gR·E three-matrix product of the RGF inner loop.
+func runTable8(quick bool) {
+	header("Table 8: 3-Matrix Multiplication Performance (measured, CPU)")
+	n := 256
+	if quick {
+		n = 128
+	}
+	rng := rand.New(rand.NewSource(8))
+	mkSparse := func() *linalg.Matrix {
+		m := linalg.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.05 {
+					m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+				}
+			}
+		}
+		return m
+	}
+	fD, eD := mkSparse(), mkSparse()
+	g := linalg.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	f := sparse.FromDense(fD, 0)
+	eCSC := sparse.FromDense(eD, 0).ToCSC()
+	eT := sparse.FromDense(eD, 0).Transpose()
+
+	t1 := timeIt(func() { linalg.Mul(linalg.Mul(fD, g), eD) })
+	t2 := timeIt(func() {
+		fg := sparse.CSRMM(f, linalg.NoTrans, g, linalg.NoTrans)
+		sparse.GEMMI(fg, eCSC)
+	})
+	t3 := timeIt(func() {
+		fg := sparse.CSRMM(f, linalg.NoTrans, g, linalg.NoTrans)
+		sparse.CSRMM(eT, linalg.NoTrans, fg, linalg.Trans)
+	})
+	row("Approach", "Time", "vs best", "")
+	best := t3
+	row("GEMM/GEMM", t1.String(), fmt.Sprintf("%.1fx", float64(t1)/float64(best)), "")
+	row("CSRMM2/GEMMI", t2.String(), fmt.Sprintf("%.1fx", float64(t2)/float64(best)), "")
+	row("CSRMM2/CSRMM2", t3.String(), "1.0x", "")
+	fmt.Println("(paper: CSRMM2/CSRMM2 best, 5.10-9.74x over the alternatives)")
+}
+
+// runTable9 — SBSMM vs padded vendor-style batched GEMM.
+func runTable9(quick bool) {
+	header("Table 9: Strided Matrix Multiplication Performance (measured, CPU)")
+	n, count := 12, 8192
+	if quick {
+		count = 2048
+	}
+	rng := rand.New(rand.NewSource(9))
+	mk := func(scale float64) []complex128 {
+		b := make([]complex128, n*n*count)
+		for i := range b {
+			b[i] = complex(scale*rng.NormFloat64(), scale*rng.NormFloat64())
+		}
+		return b
+	}
+	a, b := mk(1e-4), mk(1e-4)
+	c := make([]complex128, n*n*count)
+
+	tPad := timeIt(func() { batch.SBSMMPadded(c, a, b, n, count) })
+	tSBS := timeIt(func() { batch.SBSMM(c, a, b, n, count) })
+	ha, hb := batch.EncodeHalf(a, n, count), batch.EncodeHalf(b, n, count)
+	tHalf := timeIt(func() { batch.SBSMMHalf(c, ha, hb) })
+
+	useful := float64(batch.UsefulFlops(n, count))
+	row("Kernel", "Time", "Gflop/s", "useful/executed", "")
+	row("Padded (vendor)", tPad.String(),
+		f1(useful/tPad.Seconds()/1e9),
+		fmt.Sprintf("%.1f%%", 100*useful/float64(batch.PaddedFlops(count))), "")
+	row("DaCe SBSMM", tSBS.String(), f1(useful/tSBS.Seconds()/1e9), "100%", "")
+	row("SBSMM fp16", tHalf.String(), f1(useful/tHalf.Seconds()/1e9), "100%", "")
+	fmt.Printf("\nSBSMM vs padded speedup: %.2fx (paper: 5.76x fp64, 31x fp16 incl. Tensor Cores)\n",
+		tPad.Seconds()/tSBS.Seconds())
+}
+
+// runTable10 — single-node GF and SSE phase runtimes per variant.
+func runTable10(quick bool) {
+	header("Table 10: Single-Node Performance, GF and SSE phases (measured)")
+	dev := measuredDevice(quick)
+	s := negf.New(dev, negf.DefaultOptions())
+	gfTime := timeIt(func() {
+		if err := s.GFPhase(); err != nil {
+			panic(err)
+		}
+	})
+	in := &sse.Input{Dev: dev, GL: s.GL, GG: s.GG, DL: s.DL, DG: s.DG}
+	outO := (sse.OMEN{}).Compute(in)
+	outD := (sse.DaCe{}).Compute(in)
+	tOMEN := timeIt(func() { (sse.OMEN{}).Compute(in) })
+	tDaCe := timeIt(func() { (sse.DaCe{}).Compute(in) })
+	row("Variant", "GF", "SSE", "SSE matmuls", "")
+	row("OMEN kernel", gfTime.String(), tOMEN.String(), fmt.Sprintf("%d", outO.Stats.MatMuls), "")
+	row("DaCe kernel", gfTime.String(), tDaCe.String(), fmt.Sprintf("%d", outD.Stats.MatMuls), "")
+	fmt.Printf("\nSSE speedup DaCe over OMEN: %.2fx (paper: 9.97x single node, up to 4.8x vs cuBLAS)\n",
+		tOMEN.Seconds()/tDaCe.Seconds())
+	fmt.Println("(paper also reports a pure-Python baseline 1,000x slower; interpreted dispatch has no Go analogue)")
+}
+
+// runCommMeasured — measured SSE communication volumes on the simulated
+// MPI runtime, the executable counterpart of Tables 4–5.
+func runCommMeasured(quick bool) {
+	header("Measured SSE Communication (simulated MPI, scaled-down device)")
+	dev := measuredDevice(quick)
+	p := dev.P
+	rng := rand.New(rand.NewSource(42))
+	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	nbp1 := dev.MaxNb() + 1
+	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	in := &sse.Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
+
+	row("Ranks", "OMEN bytes", "OMEN calls", "DaCe bytes", "DaCe a2a", "reduction")
+	for _, ranks := range []int{2, 4, 8} {
+		_, so, err := decomp.RunOMEN(comm.NewWorld(ranks), in, ranks)
+		if err != nil {
+			panic(err)
+		}
+		ta := ranks
+		te := 1
+		if ranks%2 == 0 {
+			ta, te = ranks/2, 2
+		}
+		_, sd, err := decomp.RunDaCe(comm.NewWorld(ranks), in, ta, te)
+		if err != nil {
+			panic(err)
+		}
+		calls := so.Collectives["Bcast"] + so.Collectives["Reduce"] + so.Sends
+		row(fmt.Sprintf("%d", ranks),
+			fmt.Sprintf("%d", so.BytesSent), fmt.Sprintf("%d", calls),
+			fmt.Sprintf("%d", sd.BytesSent), fmt.Sprintf("%d", sd.Collectives["Alltoallv"]),
+			fmt.Sprintf("%.1fx", float64(so.BytesSent)/float64(sd.BytesSent)))
+	}
+	fmt.Println("\n§7.1.8 bandwidth-bound check (model):")
+	fmt.Printf("  D≷/Π≷ exchange at %.1f%% of the injection bound (paper: 84.57%%)\n", model.AlltoallUtilization*100)
+	fmt.Printf("  G≷/Σ≷ exchange at %.1f%% (paper: 42.32%%)\n", model.AlltoallUtilizationG*100)
+}
+
+// unitsScaled wraps an SSE kernel, pre-scaling the Green's-function
+// tensors by a units factor and algebraically undoing the (quadratic)
+// effect on the outputs. For exact arithmetic this is an identity; it
+// places the kernel inputs at the tiny magnitudes the production code's
+// unit system produces (Fig. 7a shows Σ≷ values down to 1e-21), which is
+// the regime where unnormalized fp16 collapses.
+type unitsScaled struct {
+	inner sse.Kernel
+	scale float64
+}
+
+func (u unitsScaled) Name() string { return u.inner.Name() + " (units-scaled)" }
+
+func (u unitsScaled) Compute(in *sse.Input) *sse.Output {
+	s := complex(u.scale, 0)
+	scaled := &sse.Input{Dev: in.Dev,
+		GL: in.GL.Clone(), GG: in.GG.Clone(), DL: in.DL.Clone(), DG: in.DG.Clone()}
+	for _, buf := range [][]complex128{scaled.GL.Data, scaled.GG.Data, scaled.DL.Data, scaled.DG.Data} {
+		for i := range buf {
+			buf[i] *= s
+		}
+	}
+	out := u.inner.Compute(scaled)
+	inv := complex(1/(u.scale*u.scale), 0)
+	for _, buf := range [][]complex128{out.SigL.Data, out.SigG.Data, out.PiL.Data, out.PiG.Data} {
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+	return out
+}
+
+// runFigure7 — mixed-precision SSE distribution and convergence.
+func runFigure7(quick bool) {
+	header("Figure 7: Double- vs Half-Precision SSE")
+	p := device.TestParams(16, 4, 2)
+	p.NE = 20
+	p.Nomega = 3
+	p.Coupling = 0.12
+	if quick {
+		p = device.TestParams(12, 3, 2)
+		p.NE = 12
+		p.Nomega = 3
+	}
+	iters := 14
+
+	run := func(k sse.Kernel) []float64 {
+		dev := device.MustBuild(p)
+		opts := negf.DefaultOptions()
+		opts.Kernel = k
+		opts.MaxIter = iters
+		opts.Tol = 0 // run all iterations for the trajectory
+		s := negf.New(dev, opts)
+		_, _ = s.Run()
+		tr := make([]float64, len(s.IterTrace))
+		for i, it := range s.IterTrace {
+			tr[i] = it.Current
+		}
+		return tr
+	}
+	// All three variants see inputs at the production unit scale (~1e-8
+	// of our synthetic magnitudes) so the fp16 dynamic-range effects of
+	// §5.4 are exercised exactly as in the paper.
+	const units = 1e-7
+	ref := run(unitsScaled{sse.DaCe{}, units})
+	norm := run(unitsScaled{sse.Mixed{Normalize: true}, units})
+	raw := run(unitsScaled{sse.Mixed{Normalize: false}, units})
+
+	fmt.Println("(b) Convergence of the electronic current (a.u.):")
+	row("Iter", "64-bit", "16-bit norm.", "16-bit unnorm.", "rel.err norm", "rel.err unnorm")
+	for i := range ref {
+		row(fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.8f", ref[i]),
+			fmt.Sprintf("%.8f", norm[i]),
+			fmt.Sprintf("%.8f", raw[i]),
+			fmt.Sprintf("%.2e", math.Abs(norm[i]-ref[i])/math.Abs(ref[i])),
+			fmt.Sprintf("%.2e", math.Abs(raw[i]-ref[i])/math.Abs(ref[i])))
+	}
+	last := len(ref) - 1
+	fmt.Printf("\nfinal relative difference: normalized %.2e (paper: 1.2e-6), unnormalized %.2e (paper: 3e-3)\n",
+		math.Abs(norm[last]-ref[last])/math.Abs(ref[last]),
+		math.Abs(raw[last]-ref[last])/math.Abs(ref[last]))
+
+	// (a) Output distribution: magnitude range of Σ< values per variant.
+	dev := device.MustBuild(p)
+	s := negf.New(dev, negf.DefaultOptions())
+	if err := s.GFPhase(); err != nil {
+		panic(err)
+	}
+	in := &sse.Input{Dev: dev, GL: s.GL, GG: s.GG, DL: s.DL, DG: s.DG}
+	stats := func(k sse.Kernel) (mn, mx float64) {
+		out := k.Compute(in)
+		mn = math.Inf(1)
+		for _, v := range out.SigL.Data {
+			for _, x := range []float64{math.Abs(real(v)), math.Abs(imag(v))} {
+				if x == 0 {
+					continue
+				}
+				if x < mn {
+					mn = x
+				}
+				if x > mx {
+					mx = x
+				}
+			}
+		}
+		return mn, mx
+	}
+	fmt.Println("\n(a) Σ< non-zero magnitude range:")
+	for _, k := range []sse.Kernel{sse.DaCe{}, sse.Mixed{Normalize: true}, sse.Mixed{Normalize: false}} {
+		mn, mx := stats(k)
+		fmt.Printf("  %-24s [%.3e, %.3e]\n", k.Name(), mn, mx)
+	}
+}
+
+// runFigure11 — electro-thermal observables of a converged simulation.
+func runFigure11(quick bool) {
+	header("Figure 11: Electro-Thermal Simulation of the FinFET (measured)")
+	p := device.TestParams(24, 6, 2)
+	p.NE = 24
+	p.Nomega = 4
+	p.Coupling = 0.12
+	if quick {
+		p = device.TestParams(16, 4, 2)
+		p.NE = 16
+		p.Nomega = 3
+	}
+	dev := device.MustBuild(p)
+	opts := negf.DefaultOptions()
+	opts.MaxIter = 20
+	s := negf.New(dev, opts)
+	obs, err := s.Run()
+	if err != nil {
+		fmt.Printf("(loop: %v)\n", err)
+	}
+
+	fmt.Printf("contact currents: IL=%.6g IR=%.6g (conservation: %.1e)\n",
+		obs.CurrentL, obs.CurrentR, math.Abs(obs.CurrentL+obs.CurrentR)/math.Abs(obs.CurrentL))
+	fmt.Printf("energy balance: electron loss %.4g vs phonon gain %.4g (ratio %.2f)\n",
+		obs.ElectronEnergyLoss, obs.PhononEnergyGain, obs.PhononEnergyGain/obs.ElectronEnergyLoss)
+
+	fmt.Println("\nEnergy currents along x (left panel): electron, phonon, total")
+	row("Interface", "Electron", "Phonon", "Total")
+	tot := obs.TotalEnergyCurrent()
+	for i := range tot {
+		row(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.6g", obs.InterfaceEnergyCurrent[i]),
+			fmt.Sprintf("%.6g", obs.PhononInterfaceEnergy[i]),
+			fmt.Sprintf("%.6g", tot[i]))
+	}
+
+	fmt.Println("\nSpectral current (middle panel), per energy:")
+	for ie, j := range obs.SpectralCurrent {
+		if math.Abs(j) < 1e-9 {
+			continue
+		}
+		bar := int(40 * j / maxAbs(obs.SpectralCurrent))
+		fmt.Printf("  E=%+.2f eV %-42s %.4g\n", dev.P.Energy(ie), hbar(bar), j)
+	}
+
+	fmt.Println("\nConduction-band-edge profile from the LDOS (middle panel backdrop):")
+	edges := obs.BandEdge(dev.P, 0.1)
+	for i, e := range edges {
+		fmt.Printf("  slab %d: band edge ≈ %+.2f eV\n", i, e)
+	}
+
+	fmt.Println("\nTemperature and dissipated power per slab (right panels):")
+	row("Slab", "T [K]", "P_diss")
+	temps := obs.SlabTemperature(dev)
+	for i, t := range temps {
+		row(fmt.Sprintf("%d", i), f1(t), fmt.Sprintf("%.4g", obs.DissipatedPower[i]))
+	}
+	fmt.Println("(paper: heat generated near the channel end, Tmax inside the channel, energy conserved)")
+}
+
+func maxAbs(v []float64) float64 {
+	var m float64 = 1e-300
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func hbar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "#"
+	}
+	return s
+}

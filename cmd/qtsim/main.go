@@ -1,0 +1,150 @@
+// Command qtsim runs a complete self-consistent electro-thermal quantum
+// transport simulation (GF ↔ SSE to convergence) on a synthetic FinFET
+// slice and reports the physical observables of Fig. 11: contact and
+// interface currents, energy currents, dissipated power, and the
+// atomically resolved lattice temperature.
+//
+// Example:
+//
+//	qtsim -na 24 -bnum 6 -norb 2 -ne 24 -nw 4 -vds 0.3 -coupling 0.12
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+func main() {
+	na := flag.Int("na", 24, "number of atoms")
+	bnum := flag.Int("bnum", 6, "number of slabs (blocks)")
+	norb := flag.Int("norb", 2, "orbitals per atom")
+	nkz := flag.Int("nkz", 3, "momentum points")
+	ne := flag.Int("ne", 24, "energy points")
+	nw := flag.Int("nw", 4, "phonon frequencies")
+	vds := flag.Float64("vds", 0.3, "drain-source bias (eV)")
+	tc := flag.Float64("tc", 300, "contact temperature (K)")
+	coupling := flag.Float64("coupling", 0.12, "electron-phonon coupling strength")
+	kernel := flag.String("kernel", "dace", "SSE kernel: omen | dace | mixed")
+	iters := flag.Int("maxiter", 25, "maximum self-consistent iterations")
+	seed := flag.Uint64("seed", 0x5eed, "structure seed")
+	flag.Parse()
+
+	p := device.TestParams(*na, *bnum, *norb)
+	p.Nkz = *nkz
+	p.NE = *ne
+	p.Nomega = *nw
+	p.Vds = *vds
+	p.TC = *tc
+	p.Coupling = *coupling
+	p.Seed = *seed
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	dev, err := device.Build(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := negf.DefaultOptions()
+	opts.MaxIter = *iters
+	switch *kernel {
+	case "omen":
+		opts.Kernel = sse.OMEN{}
+	case "dace":
+		opts.Kernel = sse.DaCe{}
+	case "mixed":
+		opts.Kernel = sse.Mixed{Normalize: true}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	fmt.Printf("device: Na=%d bnum=%d Norb=%d Nb<=%d | grid: Nkz=%d NE=%d Nω=%d | Vds=%.2f V, T=%g K\n",
+		p.Na, p.Bnum, p.Norb, dev.MaxNb(), p.Nkz, p.NE, p.Nomega, p.Vds, p.TC)
+	fmt.Printf("kernel: %s\n\n", opts.Kernel.Name())
+
+	start := time.Now()
+	s := negf.New(dev, opts)
+	obs, err := s.Run()
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+		fmt.Printf("converged in %d iterations (%.2fs)\n", len(s.IterTrace), elapsed.Seconds())
+	case errors.Is(err, negf.ErrNotConverged):
+		fmt.Printf("NOT converged after %d iterations (%.2fs)\n", len(s.IterTrace), elapsed.Seconds())
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nconvergence trace (current, relative change):")
+	for _, it := range s.IterTrace {
+		fmt.Printf("  iter %2d: I = %.8g   Δ = %.2e   (SSE matmuls %d)\n",
+			it.Iter+1, it.Current, it.RelChange, it.SSEStats.MatMuls)
+	}
+
+	fmt.Printf("\ncontact currents:   IL = %.6g, IR = %.6g  (balance %.1e)\n",
+		obs.CurrentL, obs.CurrentR, math.Abs(obs.CurrentL+obs.CurrentR)/math.Abs(obs.CurrentL))
+	fmt.Printf("energy currents:    source %.6g (electron), %.6g (phonon)\n",
+		obs.EnergyCurrentL, obs.PhononEnergyCurrentL)
+	fmt.Printf("energy balance:     electron loss %.6g vs phonon gain %.6g\n",
+		obs.ElectronEnergyLoss, obs.PhononEnergyGain)
+
+	fmt.Println("\nprofile along transport direction:")
+	fmt.Printf("  %-6s %-12s %-12s %-12s %-12s\n", "slab", "I(el)", "JE(el)", "JQ(ph)", "T [K]")
+	temps := obs.SlabTemperature(dev)
+	for i := 0; i < p.Bnum; i++ {
+		ic, je, jq := "-", "-", "-"
+		if i < len(obs.InterfaceCurrent) {
+			ic = fmt.Sprintf("%.5g", obs.InterfaceCurrent[i])
+			je = fmt.Sprintf("%.5g", obs.InterfaceEnergyCurrent[i])
+			jq = fmt.Sprintf("%.5g", obs.PhononInterfaceEnergy[i])
+		}
+		fmt.Printf("  %-6d %-12s %-12s %-12s %-12.1f\n", i, ic, je, jq, temps[i])
+	}
+
+	fmt.Println("\nlocal density of states (rows = E descending, cols = slabs; '#' ∝ weight):")
+	var dosMax float64
+	for _, dos := range obs.LDOS {
+		for _, v := range dos {
+			if v > dosMax {
+				dosMax = v
+			}
+		}
+	}
+	for n := p.NE - 1; n >= 0; n-- {
+		fmt.Printf("  E=%+5.2f ", p.Energy(n))
+		for i := 0; i < p.Bnum; i++ {
+			c := " "
+			switch w := obs.LDOS[i][n] / dosMax; {
+			case w > 0.6:
+				c = "#"
+			case w > 0.25:
+				c = "+"
+			case w > 0.05:
+				c = "."
+			}
+			fmt.Print(c)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\natomic temperature map (x = slab, y = row):")
+	rows := p.AtomsPerSlab()
+	for r := rows - 1; r >= 0; r-- {
+		for sInd := 0; sInd < p.Bnum; sInd++ {
+			fmt.Printf(" %5.0f", obs.AtomTemperature[sInd*rows+r])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,97 @@
+// Mixedprecision: the §5.4 / Fig. 7 experiment — run the self-consistent
+// loop with the SSE phase in emulated half precision, with and without the
+// dynamic normalization factors, and compare the convergence of the
+// electronic current against the double-precision reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// unitsScaled pre-scales the SSE inputs to the tiny magnitudes the
+// production unit system produces (the paper's Fig. 7a shows Σ≷ values
+// down to 1e-21) and undoes the quadratic effect on the outputs — an
+// exact identity in fp64 that exposes the fp16 dynamic-range behaviour.
+type unitsScaled struct {
+	inner sse.Kernel
+	scale float64
+}
+
+func (u unitsScaled) Name() string { return u.inner.Name() + " (units-scaled)" }
+
+func (u unitsScaled) Compute(in *sse.Input) *sse.Output {
+	s := complex(u.scale, 0)
+	scaled := &sse.Input{Dev: in.Dev,
+		GL: in.GL.Clone(), GG: in.GG.Clone(), DL: in.DL.Clone(), DG: in.DG.Clone()}
+	for _, buf := range [][]complex128{scaled.GL.Data, scaled.GG.Data, scaled.DL.Data, scaled.DG.Data} {
+		for i := range buf {
+			buf[i] *= s
+		}
+	}
+	out := u.inner.Compute(scaled)
+	inv := complex(1/(u.scale*u.scale), 0)
+	for _, buf := range [][]complex128{out.SigL.Data, out.SigG.Data, out.PiL.Data, out.PiG.Data} {
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+	return out
+}
+
+func main() {
+	params := device.TestParams(16, 4, 2)
+	params.NE = 20
+	params.Nomega = 3
+	params.Coupling = 0.12
+	const iters = 12
+
+	run := func(k sse.Kernel) []float64 {
+		dev, err := device.Build(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := negf.DefaultOptions()
+		opts.Kernel = k
+		opts.MaxIter = iters
+		opts.Tol = 0 // fixed iteration count for comparable trajectories
+		s := negf.New(dev, opts)
+		_, _ = s.Run() // ErrNotConverged expected with Tol = 0
+		out := make([]float64, len(s.IterTrace))
+		for i, it := range s.IterTrace {
+			out[i] = it.Current
+		}
+		return out
+	}
+
+	const units = 1e-7 // production-unit magnitude emulation
+	fmt.Println("running fp64 reference...")
+	ref := run(unitsScaled{sse.DaCe{}, units})
+	fmt.Println("running fp16 with normalization...")
+	norm := run(unitsScaled{sse.Mixed{Normalize: true}, units})
+	fmt.Println("running fp16 without normalization...")
+	raw := run(unitsScaled{sse.Mixed{Normalize: false}, units})
+
+	fmt.Printf("\n%-6s %-14s %-14s %-14s %-12s %-12s\n",
+		"iter", "fp64", "fp16+norm", "fp16 raw", "err(norm)", "err(raw)")
+	for i := range ref {
+		fmt.Printf("%-6d %-14.8f %-14.8f %-14.8f %-12.2e %-12.2e\n",
+			i+1, ref[i], norm[i], raw[i],
+			relErr(norm[i], ref[i]), relErr(raw[i], ref[i]))
+	}
+
+	last := len(ref) - 1
+	fmt.Printf("\nconverged current, relative to fp64:\n")
+	fmt.Printf("  with normalization:    %.2e   (paper: 1.2e-6)\n", relErr(norm[last], ref[last]))
+	fmt.Printf("  without normalization: %.2e   (paper: 3e-3)\n", relErr(raw[last], ref[last]))
+	fmt.Println("\nnormalization computes per-tensor power-of-two factors from the")
+	fmt.Println("magnitudes of ∇H, G≷ and D≷, clamps outliers into the binary16")
+	fmt.Println("range, and denormalizes the accumulated Σ≷ algebraically (§5.4).")
+}
+
+func relErr(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }

@@ -1,0 +1,81 @@
+// Scaling: the communication-avoidance study (§5.2, Fig. 5) — run the SSE
+// phase under the original momentum×energy decomposition and under the
+// communication-avoiding atom×energy tiling, on the same simulated MPI
+// fabric, and compare the measured traffic with the analytic model that
+// reproduces Tables 4–5 at paper scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/sse"
+	"repro/internal/tensor"
+)
+
+func main() {
+	params := device.TestParams(24, 4, 2)
+	params.NE = 16
+	params.Nomega = 4
+	dev, err := device.Build(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := synthesizeGreens(dev)
+	reference := (sse.DaCe{}).Compute(in)
+
+	fmt.Println("distributed SSE: measured bytes on the simulated fabric")
+	fmt.Printf("%-8s %-14s %-14s %-11s %-10s\n", "ranks", "OMEN [B]", "DaCe [B]", "reduction", "max err")
+	for _, ranks := range []int{2, 4, 8} {
+		_, so, err := decomp.RunOMEN(comm.NewWorld(ranks), in, ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outD, sd, err := decomp.RunDaCe(comm.NewWorld(ranks), in, ranks/2, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mx float64
+		for i := range outD.SigL.Data {
+			if d := cmplx.Abs(outD.SigL.Data[i] - reference.SigL.Data[i]); d > mx {
+				mx = d
+			}
+		}
+		fmt.Printf("%-8d %-14d %-14d %-11.1fx %-10.1e\n",
+			ranks, so.BytesSent, sd.BytesSent,
+			float64(so.BytesSent)/float64(sd.BytesSent), mx)
+	}
+
+	fmt.Println("\nthe same comparison at paper scale (analytic, Table 4):")
+	fmt.Printf("%-14s %-12s %-12s %-10s\n", "Nkz (procs)", "OMEN [TiB]", "DaCe [TiB]", "reduction")
+	for _, r := range model.Table4([]int{3, 7, 11}) {
+		fmt.Printf("%-2d (%d)      %-12.2f %-12.2f %.0fx\n", r.Nkz, r.Procs, r.OMENTiB, r.DaCeTiB, r.Ratio)
+	}
+
+	p := device.Small(7)
+	fmt.Printf("\nMPI invocations per iteration: OMEN %d vs DaCe %d (constant)\n",
+		model.OMENMPIInvocations(p, p.NE), model.DaCeMPIInvocations())
+}
+
+func synthesizeGreens(dev *device.Device) *sse.Input {
+	p := dev.P
+	rng := rand.New(rand.NewSource(11))
+	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	nbp1 := dev.MaxNb() + 1
+	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return &sse.Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
+}

@@ -1,0 +1,162 @@
+// Package bc computes the open-boundary self-energies that connect the
+// finite simulation domain to semi-infinite contacts — the "Boundary
+// Conditions" kernel of the paper (first row of Table 3, cached in the
+// "Cache BC" modes of Fig. 9).
+//
+// The paper evaluates a contour integral on the GPUs; this package uses the
+// Sancho–Rubio decimation iteration, the standard CPU algorithm computing
+// the same object: the retarded surface Green's function gs of a periodic
+// semi-infinite lead, from which the boundary self-energy Σᴿ_B = τ·gs·τᴴ
+// follows. Both electrons (E·S − H blocks) and phonons (ω²·I − Φ blocks)
+// use the same routine.
+package bc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// DefaultMaxIter bounds the decimation iterations. Each iteration doubles
+// the effective lead depth, so 60 iterations cover ~2^60 periods.
+const DefaultMaxIter = 60
+
+// DefaultTol is the convergence threshold on the decimation coupling norm.
+const DefaultTol = 1e-10
+
+// ErrNoConvergence is returned when decimation fails to converge, which in
+// practice signals a vanishing imaginary part (η too small).
+var ErrNoConvergence = errors.New("bc: Sancho-Rubio decimation did not converge")
+
+// Result bundles the contact objects the GF phase needs.
+type Result struct {
+	Surface *linalg.Matrix // gs: retarded surface Green's function of the lead
+	SigmaR  *linalg.Matrix // Σᴿ_B = τ·gs·τᴴ: retarded boundary self-energy
+	Gamma   *linalg.Matrix // Γ = i(Σᴿ − Σᴿᴴ): broadening (positive semidefinite)
+	Iters   int            // decimation iterations used
+}
+
+// SurfaceGF runs Sancho–Rubio decimation for a semi-infinite lead whose
+// onsite block is d00 (already including the energy: E·S − H₀₀ or ω²·I − Φ₀₀,
+// with +iη broadening) and whose inter-cell coupling is tau (the
+// lead-period coupling; for the left contact this is the Lower block, for
+// the right the Upper block of the device edge).
+//
+// Iteration (Sancho, Sancho & Rubio 1985): with ε := d00, εs := d00,
+// α := tau, β := tauᴴ, repeat
+//
+//	g    = ε⁻¹
+//	εs  −= α·g·β
+//	ε   −= α·g·β + β·g·α
+//	α    = α·g·α
+//	β    = β·g·β
+//
+// until ‖α‖ is negligible; then gs = εs⁻¹.
+func SurfaceGF(d00, tau *linalg.Matrix, tol float64, maxIter int) (*Result, error) {
+	if !d00.IsSquare() || !tau.IsSquare() || d00.Rows != tau.Rows {
+		return nil, fmt.Errorf("bc: incompatible blocks %dx%d and %dx%d", d00.Rows, d00.Cols, tau.Rows, tau.Cols)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	n := d00.Rows
+	eps := d00.Clone()
+	epsS := d00.Clone()
+	alpha := tau.Clone()
+	beta := tau.H()
+
+	for it := 1; it <= maxIter; it++ {
+		g, err := linalg.Inverse(eps)
+		if err != nil {
+			return nil, fmt.Errorf("bc: singular bulk block at iteration %d: %w", it, err)
+		}
+		agb := linalg.Mul3(alpha, g, beta)
+		bga := linalg.Mul3(beta, g, alpha)
+		linalg.AXPY(epsS, -1, agb)
+		linalg.AXPY(eps, -1, agb)
+		linalg.AXPY(eps, -1, bga)
+		alpha = linalg.Mul3(alpha, g, alpha)
+		beta = linalg.Mul3(beta, g, beta)
+		if alpha.FrobNorm() < tol && beta.FrobNorm() < tol {
+			gs, err := linalg.Inverse(epsS)
+			if err != nil {
+				return nil, fmt.Errorf("bc: singular surface block: %w", err)
+			}
+			sig := linalg.Mul3(tau, gs, tau.H())
+			gamma := gammaOf(sig)
+			return &Result{Surface: gs, SigmaR: sig, Gamma: gamma, Iters: it}, nil
+		}
+		_ = n
+	}
+	return nil, ErrNoConvergence
+}
+
+// gammaOf computes Γ = i(Σ − Σᴴ).
+func gammaOf(sigma *linalg.Matrix) *linalg.Matrix {
+	g := linalg.Sub(linalg.New(sigma.Rows, sigma.Cols), sigma, sigma.H())
+	return linalg.Scale(g, 1i, g)
+}
+
+// Cache memoizes boundary results per (contact, momentum, energy/frequency)
+// grid point — the compute/memory trade-off of §7.1.2. Mode selects how
+// much is retained between self-consistent iterations.
+type Cache struct {
+	mode    Mode
+	entries map[key]*Result
+	hits    int
+	misses  int
+}
+
+// Mode enumerates the §7.1.2 execution modes of the GF phase.
+type Mode int
+
+const (
+	// NoCache recomputes boundary conditions on every access.
+	NoCache Mode = iota
+	// CacheBC retains boundary-condition results across iterations.
+	CacheBC
+)
+
+func (m Mode) String() string {
+	if m == NoCache {
+		return "No Cache"
+	}
+	return "Cache BC"
+}
+
+type key struct {
+	contact int // 0 = left/source, 1 = right/drain
+	ik, ie  int
+}
+
+// NewCache returns a cache operating in the given mode.
+func NewCache(mode Mode) *Cache {
+	return &Cache{mode: mode, entries: make(map[key]*Result)}
+}
+
+// Get returns the cached boundary result or computes it with compute().
+func (c *Cache) Get(contact, ik, ie int, compute func() (*Result, error)) (*Result, error) {
+	k := key{contact, ik, ie}
+	if c.mode == CacheBC {
+		if r, ok := c.entries[k]; ok {
+			c.hits++
+			return r, nil
+		}
+	}
+	c.misses++
+	r, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if c.mode == CacheBC {
+		c.entries[k] = r
+	}
+	return r, nil
+}
+
+// Stats reports cache hits and misses (for the Fig. 9 cache-mode study).
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }

@@ -1,0 +1,211 @@
+// Package core is the top-level API of the quantum transport library — a
+// facade over the device builder, the NEGF solver, the SSE kernels and the
+// distributed decompositions, mirroring how the paper's DaCe OMEN exposes
+// one entry point for a full electro-thermal simulation.
+//
+// A minimal simulation is three lines:
+//
+//	sim, _ := core.NewSimulation(core.Config{Atoms: 24, Slabs: 6, Orbitals: 2})
+//	result, _ := sim.Run()
+//	fmt.Println(result.Current, result.MaxTemperature)
+//
+// The zero Config is filled with validated defaults; every knob of the
+// underlying packages remains reachable through the Device and Solver
+// fields for advanced use.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bc"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// Precision selects the SSE arithmetic (§5.4).
+type Precision int
+
+const (
+	// Double runs the SSE phase entirely in complex128.
+	Double Precision = iota
+	// Mixed quantizes the SSE inputs to emulated binary16 with dynamic
+	// normalization and accumulates in double precision.
+	Mixed
+)
+
+// KernelChoice selects the SSE schedule.
+type KernelChoice int
+
+const (
+	// DataCentric is the transformed kernel (map fission + SBSMM), the
+	// paper's contribution. Default.
+	DataCentric KernelChoice = iota
+	// Baseline is the original OMEN-style 8-deep loop nest.
+	Baseline
+)
+
+// Config describes a simulation. Zero fields take defaults.
+type Config struct {
+	Atoms    int // total atoms (default 24)
+	Slabs    int // block-tridiagonal slabs (default 6)
+	Orbitals int // orbitals per atom (default 2)
+
+	MomentumPoints int     // Nkz = Nqz (default 3)
+	EnergyPoints   int     // NE (default 24)
+	PhononModes    int     // Nω (default 4)
+	Bias           float64 // Vds in eV (default 0.3)
+	Temperature    float64 // contact temperature in K (default 300)
+	Coupling       float64 // electron-phonon strength (default 0.08)
+	Seed           uint64  // structure seed (default 0x5eed)
+
+	Kernel        KernelChoice
+	Precision     Precision
+	MaxIterations int     // self-consistency cap (default 25)
+	Tolerance     float64 // relative current change (default 1e-5)
+	CacheBoundary bool    // cache boundary conditions across iterations (default true via NewSimulation)
+
+	noBoundaryCacheSet bool
+}
+
+// applyDefaults fills zero fields.
+func (c *Config) applyDefaults() {
+	if c.Atoms == 0 {
+		c.Atoms = 24
+	}
+	if c.Slabs == 0 {
+		c.Slabs = 6
+	}
+	if c.Orbitals == 0 {
+		c.Orbitals = 2
+	}
+	if c.MomentumPoints == 0 {
+		c.MomentumPoints = 3
+	}
+	if c.EnergyPoints == 0 {
+		c.EnergyPoints = 24
+	}
+	if c.PhononModes == 0 {
+		c.PhononModes = 4
+	}
+	if c.Bias == 0 {
+		c.Bias = 0.3
+	}
+	if c.Temperature == 0 {
+		c.Temperature = 300
+	}
+	if c.Coupling == 0 {
+		c.Coupling = 0.08
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 25
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+	if !c.noBoundaryCacheSet {
+		c.CacheBoundary = true
+	}
+}
+
+// Simulation owns a built device and a configured solver.
+type Simulation struct {
+	Config Config
+	Device *device.Device
+	Solver *negf.Solver
+}
+
+// NewSimulation validates the configuration, builds the synthetic device
+// and prepares the solver.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg.applyDefaults()
+	p := device.TestParams(cfg.Atoms, cfg.Slabs, cfg.Orbitals)
+	p.Nkz = cfg.MomentumPoints
+	p.NE = cfg.EnergyPoints
+	p.Nomega = cfg.PhononModes
+	p.Vds = cfg.Bias
+	p.TC = cfg.Temperature
+	p.Coupling = cfg.Coupling
+	p.Seed = cfg.Seed
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	dev, err := device.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	opts := negf.DefaultOptions()
+	opts.MaxIter = cfg.MaxIterations
+	opts.Tol = cfg.Tolerance
+	if !cfg.CacheBoundary {
+		opts.CacheMode = bc.NoCache
+	}
+	switch {
+	case cfg.Precision == Mixed:
+		opts.Kernel = sse.Mixed{Normalize: true}
+	case cfg.Kernel == Baseline:
+		opts.Kernel = sse.OMEN{}
+	default:
+		opts.Kernel = sse.DaCe{}
+	}
+	return &Simulation{Config: cfg, Device: dev, Solver: negf.New(dev, opts)}, nil
+}
+
+// Result summarizes a converged (or capped) simulation.
+type Result struct {
+	// Converged reports whether the self-consistent loop reached the
+	// configured tolerance within MaxIterations.
+	Converged  bool
+	Iterations int
+	// Current is the source-contact electron current (a.u.).
+	Current float64
+	// MaxTemperature is the hottest lattice temperature (K) and HotSpot
+	// its slab index — the Joule-heating signature of Fig. 1(d).
+	MaxTemperature float64
+	HotSpot        int
+	// EnergyBalance is phonon gain / electron loss; 1 means perfect
+	// conservation between the two baths.
+	EnergyBalance float64
+	// Observables exposes the full per-slab/per-atom detail.
+	Observables *negf.Observables
+}
+
+// Run executes the self-consistent GF↔SSE loop and summarizes it.
+func (s *Simulation) Run() (*Result, error) {
+	obs, err := s.Solver.Run()
+	converged := err == nil
+	if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+		return nil, err
+	}
+	r := &Result{
+		Converged:   converged,
+		Iterations:  len(s.Solver.IterTrace),
+		Current:     obs.CurrentL,
+		Observables: obs,
+	}
+	temps := obs.SlabTemperature(s.Device)
+	for i, t := range temps {
+		if t > r.MaxTemperature {
+			r.MaxTemperature, r.HotSpot = t, i
+		}
+	}
+	if obs.ElectronEnergyLoss != 0 {
+		r.EnergyBalance = obs.PhononEnergyGain / obs.ElectronEnergyLoss
+	}
+	return r, nil
+}
+
+// Ballistic solves the Green's functions once with zero scattering
+// self-energies (the coherent-transport limit) and returns the
+// observables without running the self-consistent loop.
+func (s *Simulation) Ballistic() (*negf.Observables, error) {
+	if err := s.Solver.GFPhase(); err != nil {
+		return nil, err
+	}
+	return &s.Solver.Obs, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultsProduceRunnableSimulation(t *testing.T) {
+	sim, err := NewSimulation(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Config.Atoms != 24 || sim.Config.Slabs != 6 {
+		t.Fatalf("defaults not applied: %+v", sim.Config)
+	}
+	obs, err := sim.Ballistic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.CurrentL <= 0 {
+		t.Fatal("default bias should drive current")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := NewSimulation(Config{Atoms: 25, Slabs: 6}); err == nil {
+		t.Fatal("indivisible atom count must be rejected")
+	}
+	if _, err := NewSimulation(Config{Slabs: 2}); err == nil {
+		t.Fatal("too few slabs must be rejected")
+	}
+}
+
+func TestRunSummarizesPhysics(t *testing.T) {
+	sim, err := NewSimulation(Config{
+		Atoms: 16, Slabs: 4, EnergyPoints: 20, PhononModes: 3,
+		Coupling: 0.12, MaxIterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("expected convergence, got %d iterations", res.Iterations)
+	}
+	if res.Current <= 0 {
+		t.Fatal("current should be positive under forward bias")
+	}
+	if res.MaxTemperature <= sim.Config.Temperature {
+		t.Fatalf("Joule heating should raise the lattice above %g K, got %g",
+			sim.Config.Temperature, res.MaxTemperature)
+	}
+	if res.HotSpot == 0 || res.HotSpot == sim.Config.Slabs-1 {
+		t.Fatalf("hot spot should be interior, got slab %d", res.HotSpot)
+	}
+	if res.EnergyBalance < 0.5 || res.EnergyBalance > 1.5 {
+		t.Fatalf("energy balance %g far from unity", res.EnergyBalance)
+	}
+}
+
+func TestKernelChoicesAgree(t *testing.T) {
+	run := func(k KernelChoice) float64 {
+		sim, err := NewSimulation(Config{
+			Atoms: 12, Slabs: 3, EnergyPoints: 12, PhononModes: 3,
+			Kernel: k, MaxIterations: 4, Tolerance: 1e-12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Current
+	}
+	a, b := run(DataCentric), run(Baseline)
+	if rel := math.Abs(a-b) / math.Abs(a); rel > 1e-9 {
+		t.Fatalf("kernel choice changed the physics: %g vs %g", a, b)
+	}
+}
+
+func TestMixedPrecisionClose(t *testing.T) {
+	base := Config{Atoms: 12, Slabs: 3, EnergyPoints: 12, PhononModes: 3, MaxIterations: 6}
+	simD, err := NewSimulation(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := simD.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgM := base
+	cfgM.Precision = Mixed
+	simM, err := NewSimulation(cfgM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resM, err := simM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(resM.Current-resD.Current) / math.Abs(resD.Current); rel > 1e-3 {
+		t.Fatalf("mixed precision drifted by %g", rel)
+	}
+}
+
+func TestBoundaryCacheToggle(t *testing.T) {
+	cfg := Config{Atoms: 12, Slabs: 3, EnergyPoints: 12, PhononModes: 3, MaxIterations: 3}
+	simA, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.CacheBoundary = false
+	cfg2.noBoundaryCacheSet = true
+	simB, err := NewSimulation(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := simA.Run()
+	rb, _ := simB.Run()
+	if ra.Current != rb.Current {
+		t.Fatalf("boundary caching changed the physics: %g vs %g", ra.Current, rb.Current)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	mk := func() float64 {
+		sim, err := NewSimulation(Config{Atoms: 12, Slabs: 3, EnergyPoints: 12, PhononModes: 3, MaxIterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := sim.Run()
+		return res.Current
+	}
+	if mk() != mk() {
+		t.Fatal("same config must reproduce bit-identical results")
+	}
+}

@@ -1,0 +1,123 @@
+// Package half implements IEEE 754 binary16 ("half precision") arithmetic
+// in software, together with the split-complex half-precision tensor format
+// used by the mixed-precision SSE kernel (§5.4 of the paper).
+//
+// On Summit the paper runs the Σ≷ accumulation on V100 Tensor Cores, which
+// consume fp16 inputs and accumulate in higher precision. This package is
+// the CPU-side stand-in: values are stored as 16-bit patterns with exactly
+// the binary16 range and rounding, arithmetic happens by converting through
+// float32, and out-of-range values saturate to ±MaxValue exactly like the
+// clamping step the paper applies before feeding Tensor Cores.
+package half
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored as its bit pattern.
+type Float16 uint16
+
+// Limits of the binary16 format.
+const (
+	// MaxValue is the largest finite binary16 value (65504).
+	MaxValue = 65504.0
+	// MinNormal is the smallest positive normal binary16 value (2^-14).
+	MinNormal = 6.103515625e-05
+	// SmallestNonzero is the smallest positive subnormal value (2^-24).
+	SmallestNonzero = 5.9604644775390625e-08
+)
+
+// FromFloat32 converts f to binary16 with round-to-nearest-even.
+// Overflows become ±Inf (use Clamp before conversion to saturate instead).
+func FromFloat32(f float32) Float16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := b & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow or already Inf/NaN.
+		if int32(b>>23&0xff) == 0xff && mant != 0 {
+			return Float16(sign | 0x7e00) // NaN
+		}
+		return Float16(sign | 0x7c00) // Inf
+	case exp <= 0:
+		// Subnormal or zero in half precision.
+		if exp < -10 {
+			return Float16(sign) // underflow to signed zero
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round to nearest even.
+		if rounded&(half<<1-1) == half && mant&(1<<shift) == 0 {
+			rounded = mant
+		}
+		return Float16(sign | uint16(rounded>>shift))
+	default:
+		// Normal number: round mantissa from 23 to 10 bits, nearest even.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return Float16(sign | 0x7c00)
+			}
+		}
+		return Float16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// Float32 converts h back to float32 exactly.
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// FromFloat64 converts through float32.
+func FromFloat64(f float64) Float16 { return FromFloat32(float32(f)) }
+
+// Float64 converts h to float64 exactly.
+func (h Float16) Float64() float64 { return float64(h.Float32()) }
+
+// IsInf reports whether h is ±Inf.
+func (h Float16) IsInf() bool { return h&0x7fff == 0x7c00 }
+
+// IsNaN reports whether h is a NaN.
+func (h Float16) IsNaN() bool { return h&0x7c00 == 0x7c00 && h&0x3ff != 0 }
+
+// Clamp saturates f into the finite binary16 range [−MaxValue, MaxValue].
+// This is the paper's out-of-range handling: "Out-of-range values are
+// clamped to avoid under/overflow".
+func Clamp(f float64) float64 {
+	if f > MaxValue {
+		return MaxValue
+	}
+	if f < -MaxValue {
+		return -MaxValue
+	}
+	return f
+}
+
+// Quantize rounds f through binary16 with saturation, returning the value
+// a Tensor-Core input register would hold.
+func Quantize(f float64) float64 { return FromFloat64(Clamp(f)).Float64() }

@@ -1,0 +1,199 @@
+package half
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float64
+		bits Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                  // MaxValue
+		{6.103515625e-05, 0x0400},        // MinNormal
+		{5.9604644775390625e-08, 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.f); got != c.bits {
+			t.Errorf("FromFloat64(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := c.bits.Float64(); got != c.f {
+			t.Errorf("(%#04x).Float64() = %g, want %g", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	h := FromFloat64(1e6)
+	if !h.IsInf() {
+		t.Fatalf("1e6 should overflow to Inf, got %#04x (%g)", h, h.Float64())
+	}
+	h = FromFloat64(-1e6)
+	if !h.IsInf() || h.Float64() > 0 {
+		t.Fatalf("-1e6 should overflow to -Inf")
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	h := FromFloat64(math.NaN())
+	if !h.IsNaN() {
+		t.Fatal("NaN should convert to half NaN")
+	}
+	if !math.IsNaN(h.Float64()) {
+		t.Fatal("half NaN should convert back to NaN")
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	h := FromFloat64(1e-12)
+	if h != 0 {
+		t.Fatalf("1e-12 should underflow to +0, got %#04x", h)
+	}
+	h = FromFloat64(-1e-12)
+	if h != 0x8000 {
+		t.Fatalf("-1e-12 should underflow to -0, got %#04x", h)
+	}
+}
+
+func TestSubnormalRange(t *testing.T) {
+	// 2^-20 is subnormal in binary16 but exactly representable.
+	f := math.Ldexp(1, -20)
+	h := FromFloat64(f)
+	if h.Float64() != f {
+		t.Fatalf("2^-20 roundtrip: got %g", h.Float64())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Conversion float16→float32→float16 must be the identity for every
+	// finite half value, and half(f).Float64() must be within half an ULP.
+	f := func(bits uint16) bool {
+		h := Float16(bits)
+		if h.IsNaN() {
+			return FromFloat32(h.Float32()).IsNaN()
+		}
+		return FromFloat32(h.Float32()) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundingIsNearest(t *testing.T) {
+	// The binary16 ULP at 1.0 is 2^-10; values less than half an ULP away
+	// must round to 1.0.
+	ulp := math.Ldexp(1, -10)
+	if got := FromFloat64(1 + 0.49*ulp).Float64(); got != 1 {
+		t.Fatalf("1+0.49ulp rounded to %g", got)
+	}
+	if got := FromFloat64(1 + 0.51*ulp).Float64(); got != 1+ulp {
+		t.Fatalf("1+0.51ulp rounded to %g, want %g", got, 1+ulp)
+	}
+	// Ties round to even: 1 + 0.5ulp is exactly between 1 (mantissa even)
+	// and 1+ulp (odd) → rounds down to 1.
+	if got := FromFloat64(1 + 0.5*ulp).Float64(); got != 1 {
+		t.Fatalf("tie 1+0.5ulp rounded to %g, want 1 (even)", got)
+	}
+}
+
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	// For in-range normal values the relative quantization error is at
+	// most 2^-11 (half an ULP of a 10-bit mantissa).
+	f := func(x float64) bool {
+		x = math.Mod(math.Abs(x), 60000)
+		if x < MinNormal {
+			return true
+		}
+		q := Quantize(x)
+		return math.Abs(q-x) <= x*math.Ldexp(1, -11)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(1e9) != MaxValue {
+		t.Fatal("positive clamp failed")
+	}
+	if Clamp(-1e9) != -MaxValue {
+		t.Fatal("negative clamp failed")
+	}
+	if Clamp(123.0) != 123.0 {
+		t.Fatal("in-range value should pass through")
+	}
+	if q := Quantize(1e9); q != MaxValue {
+		t.Fatalf("Quantize should saturate, got %g", q)
+	}
+}
+
+func TestSplitComplexRoundTrip(t *testing.T) {
+	src := []complex128{1 + 2i, -3.5 + 0.25i, 0, 1000 - 1000i}
+	sc := NewSplitComplex(len(src))
+	sc.EncodeScaled(src, 1)
+	dst := make([]complex128, len(src))
+	sc.DecodeScaled(dst, 1)
+	for i := range src {
+		if math.Abs(real(dst[i])-real(src[i])) > math.Abs(real(src[i]))*1e-3+1e-6 ||
+			math.Abs(imag(dst[i])-imag(src[i])) > math.Abs(imag(src[i]))*1e-3+1e-6 {
+			t.Fatalf("roundtrip[%d]: %v -> %v", i, src[i], dst[i])
+		}
+	}
+}
+
+func TestScaleForPowerOfTwo(t *testing.T) {
+	for _, m := range []float64{1e-9, 1e-3, 1, 7, 1e4, 3e7} {
+		s := ScaleFor(m)
+		// Power of two: log2 must be integral.
+		l := math.Log2(s)
+		if l != math.Trunc(l) {
+			t.Fatalf("ScaleFor(%g) = %g is not a power of two", m, s)
+		}
+		scaled := m * s
+		if scaled > MaxValue || scaled < 256 {
+			t.Fatalf("ScaleFor(%g): scaled max %g outside [256, 65504]", m, scaled)
+		}
+	}
+	if ScaleFor(0) != 1 {
+		t.Fatal("ScaleFor(0) should be the neutral factor")
+	}
+}
+
+func TestNormalizationPreservesSmallValues(t *testing.T) {
+	// Without normalization, values of order 1e-9 vanish in fp16; with a
+	// ScaleFor-derived factor they survive with ~2^-11 relative error.
+	// This is the §5.4 mechanism reproduced in miniature.
+	vals := []complex128{complex(3e-9, -1e-9), complex(1e-9, 2e-9)}
+	direct := NewSplitComplex(len(vals))
+	direct.EncodeScaled(vals, 1)
+	out := make([]complex128, len(vals))
+	direct.DecodeScaled(out, 1)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatal("expected unnormalized 1e-9 values to flush to zero in fp16")
+	}
+	scale := ScaleFor(MaxAbsComplex(vals))
+	norm := NewSplitComplex(len(vals))
+	norm.EncodeScaled(vals, scale)
+	norm.DecodeScaled(out, 1/scale)
+	for i := range vals {
+		if math.Abs(real(out[i])-real(vals[i])) > 1e-11 {
+			t.Fatalf("normalized roundtrip lost value %d: %v -> %v", i, vals[i], out[i])
+		}
+	}
+}
+
+func TestMaxAbsComplex(t *testing.T) {
+	if got := MaxAbsComplex([]complex128{1 + 2i, -7 + 0.5i, 3 - 4i}); got != 7 {
+		t.Fatalf("MaxAbsComplex = %g, want 7", got)
+	}
+	if got := MaxAbsComplex(nil); got != 0 {
+		t.Fatalf("MaxAbsComplex(nil) = %g", got)
+	}
+}

@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Op selects how an input operand enters a multiplication, mirroring the
+// BLAS transpose flags that OMEN passes to cuBLAS (Table 7 uses NN/NT/TN/TT).
+type Op int
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans Op = iota
+	// Trans uses the operand transposed.
+	Trans
+	// ConjTrans uses the Hermitian conjugate of the operand.
+	ConjTrans
+)
+
+func (o Op) String() string {
+	switch o {
+	case NoTrans:
+		return "N"
+	case Trans:
+		return "T"
+	case ConjTrans:
+		return "C"
+	}
+	return "?"
+}
+
+// flopCount accumulates complex flops across linalg kernels when enabled.
+var (
+	flopCount   atomic.Int64
+	flopEnabled atomic.Bool
+)
+
+// EnableFlopCounting toggles global flop accounting. It costs one atomic add
+// per kernel call, so leave it off in production runs.
+func EnableFlopCounting(on bool) { flopEnabled.Store(on) }
+
+// Flops returns the accumulated real-flop count (1 complex multiply-add is
+// counted as 8 real flops, matching the paper's §6.1.1 accounting).
+func Flops() int64 { return flopCount.Load() }
+
+// ResetFlops clears the accumulated flop count.
+func ResetFlops() { flopCount.Store(0) }
+
+func countFlops(n int64) {
+	if flopEnabled.Load() {
+		flopCount.Add(n)
+	}
+}
+
+// parallelThreshold is the operation count above which MatMul fans out
+// across goroutines. Tuned so that the Norb-sized multiplications in the
+// SSE kernel never pay goroutine overhead.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul computes C = op(A)·op(B), allocating the result.
+func MatMul(a *Matrix, opA Op, b *Matrix, opB Op) *Matrix {
+	m, k := opDims(a, opA)
+	k2, n := opDims(b, opB)
+	if k != k2 {
+		panicShape("MatMul", a, opA, b, opB)
+	}
+	c := New(m, n)
+	GEMM(1, a, opA, b, opB, 0, c)
+	return c
+}
+
+// Mul is shorthand for MatMul(a, NoTrans, b, NoTrans).
+func Mul(a, b *Matrix) *Matrix { return MatMul(a, NoTrans, b, NoTrans) }
+
+// GEMM computes C = alpha·op(A)·op(B) + beta·C in place.
+// It parallelizes across row stripes of C for large problems.
+func GEMM(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128, c *Matrix) {
+	m, k := opDims(a, opA)
+	k2, n := opDims(b, opB)
+	if k != k2 || c.Rows != m || c.Cols != n {
+		panicShape("GEMM", a, opA, b, opB)
+	}
+	countFlops(8 * int64(m) * int64(n) * int64(k))
+
+	// Normalize to a form where A is accessed row-major: pre-transform the
+	// operands only when the access pattern would otherwise stride badly.
+	// For the sizes in this code base (RGF blocks up to ~1000, SSE blocks
+	// 10–25) materializing op(B) once is cheaper than strided access.
+	bEff := b
+	if opB == Trans {
+		bEff = b.T()
+	} else if opB == ConjTrans {
+		bEff = b.H()
+	}
+	aEff := a
+	if opA == Trans {
+		aEff = a.T()
+	} else if opA == ConjTrans {
+		aEff = a.H()
+	}
+
+	work := int64(m) * int64(n) * int64(k)
+	if work < parallelThreshold {
+		gemmStripe(alpha, aEff, bEff, beta, c, 0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmStripe(alpha, aEff, bEff, beta, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmStripe computes rows [lo, hi) of C = alpha·A·B + beta·C with A and B
+// both in natural orientation. The inner loops run in i-k-j order so that
+// both B and C are swept contiguously (the classic cache-friendly ordering).
+func gemmStripe(alpha complex128, a, b *Matrix, beta complex128, c *Matrix, lo, hi int) {
+	n := c.Cols
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		if beta == 0 {
+			for j := range crow {
+				crow[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range crow {
+				crow[j] *= beta
+			}
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := alpha * arow[p]
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulAdd computes dst += a·b without allocating.
+func MulAdd(dst, a, b *Matrix) { GEMM(1, a, NoTrans, b, NoTrans, 1, dst) }
+
+// Mul3 returns a·b·c, association chosen to minimize work.
+func Mul3(a, b, c *Matrix) *Matrix {
+	// Cost of (ab)c vs a(bc) in complex multiply-adds.
+	left := int64(a.Rows)*int64(a.Cols)*int64(b.Cols) + int64(a.Rows)*int64(b.Cols)*int64(c.Cols)
+	right := int64(b.Rows)*int64(b.Cols)*int64(c.Cols) + int64(a.Rows)*int64(a.Cols)*int64(c.Cols)
+	if left <= right {
+		return Mul(Mul(a, b), c)
+	}
+	return Mul(a, Mul(b, c))
+}
+
+func opDims(m *Matrix, op Op) (rows, cols int) {
+	if op == NoTrans {
+		return m.Rows, m.Cols
+	}
+	return m.Cols, m.Rows
+}
+
+func panicShape(fn string, a *Matrix, opA Op, b *Matrix, opB Op) {
+	panic("linalg: " + fn + " incompatible shapes " +
+		shapeString(a, opA) + " x " + shapeString(b, opB))
+}
+
+func shapeString(m *Matrix, op Op) string {
+	r, c := opDims(m, op)
+	return op.String() + "(" + itoa(r) + "x" + itoa(c) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a factorization or solve encounters an
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U where L is
+// unit lower triangular and U is upper triangular, both packed into lu.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	signs int // parity of the permutation, for determinants
+}
+
+// Factorize computes the LU factorization of a (which is not modified).
+// The retarded Green's function solve (E·S − H − Σᴿ)·Gᴿ = I in the RGF
+// kernel reduces to factorizations of the per-block effective Hamiltonian.
+func Factorize(a *Matrix) (*LU, error) {
+	if !a.IsSquare() {
+		return nil, errors.New("linalg: Factorize requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	signs := 1
+	d := lu.Data
+	countFlops(8 * int64(n) * int64(n) * int64(n) * 2 / 3)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the diagonal.
+		p := col
+		max := cmplx.Abs(d[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := cmplx.Abs(d[r*n+col]); a > max {
+				max, p = a, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		piv[col] = p
+		if p != col {
+			signs = -signs
+			rp, rc := d[p*n:(p+1)*n], d[col*n:(col+1)*n]
+			for j := range rp {
+				rp[j], rc[j] = rc[j], rp[j]
+			}
+		}
+		inv := 1 / d[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := d[r*n+col] * inv
+			d[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			rr := d[r*n : (r+1)*n]
+			rc := d[col*n : (col+1)*n]
+			for j := col + 1; j < n; j++ {
+				rr[j] -= f * rc[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: piv, signs: signs}, nil
+}
+
+// Solve computes X such that A·X = B for the factorized A. B is not modified.
+func (f *LU) Solve(b *Matrix) *Matrix {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := b.Clone()
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites x with A⁻¹·x.
+func (f *LU) SolveInPlace(x *Matrix) {
+	n := f.lu.Rows
+	m := x.Cols
+	d := f.lu.Data
+	xd := x.Data
+	countFlops(8 * int64(n) * int64(n) * int64(m))
+	// Apply the row permutation.
+	for i := 0; i < n; i++ {
+		if p := f.pivot[i]; p != i {
+			ri, rp := xd[i*m:(i+1)*m], xd[p*m:(p+1)*m]
+			for j := range ri {
+				ri[j], rp[j] = rp[j], ri[j]
+			}
+		}
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		xi := xd[i*m : (i+1)*m]
+		for k := 0; k < i; k++ {
+			l := d[i*n+k]
+			if l == 0 {
+				continue
+			}
+			xk := xd[k*m : (k+1)*m]
+			for j := range xi {
+				xi[j] -= l * xk[j]
+			}
+		}
+	}
+	// Backward substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		xi := xd[i*m : (i+1)*m]
+		for k := i + 1; k < n; k++ {
+			u := d[i*n+k]
+			if u == 0 {
+				continue
+			}
+			xk := xd[k*m : (k+1)*m]
+			for j := range xi {
+				xi[j] -= u * xk[j]
+			}
+		}
+		inv := 1 / d[i*n+i]
+		for j := range xi {
+			xi[j] *= inv
+		}
+	}
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() complex128 {
+	n := f.lu.Rows
+	det := complex(float64(f.signs), 0)
+	for i := 0; i < n; i++ {
+		det *= f.lu.Data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns A⁻¹ for square A, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	inv := Eye(a.Rows)
+	f.SolveInPlace(inv)
+	return inv, nil
+}
+
+// MustInverse returns A⁻¹ and panics on singular input. The RGF recursion
+// applies it to effective-Hamiltonian blocks that are nonsingular for any
+// energy with a nonzero imaginary part (E + iη), so failure indicates a
+// programming error rather than a data condition.
+func MustInverse(a *Matrix) *Matrix {
+	inv, err := Inverse(a)
+	if err != nil {
+		panic(err)
+	}
+	return inv
+}
+
+// Solve computes X with A·X = B without exposing the factorization.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

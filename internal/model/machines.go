@@ -1,0 +1,76 @@
+package model
+
+// Machine describes one of the paper's two target systems (§6.2) at the
+// level the performance model needs.
+type Machine struct {
+	Name           string
+	Nodes          int
+	GPUsPerNode    int
+	GPUPeak        float64 // double-precision flop/s per GPU
+	CPUPeak        float64 // double-precision flop/s per node (CPU part)
+	TensorCorePeak float64 // half-precision flop/s per GPU (0 if none)
+	InjectionBW    float64 // bytes/s per node
+	HPLPflops      float64 // measured effective maximum (HPL)
+	ProcsPerNode   int     // MPI ranks per node in the paper's runs
+}
+
+// NodePeak returns the combined double-precision peak of one node.
+func (m Machine) NodePeak() float64 {
+	return float64(m.GPUsPerNode)*m.GPUPeak + m.CPUPeak
+}
+
+// PizDaint is the CSCS Cray XC50 partition: one P100 per node.
+func PizDaint() Machine {
+	return Machine{
+		Name:         "Piz Daint",
+		Nodes:        5704,
+		GPUsPerNode:  1,
+		GPUPeak:      4.7e12,
+		CPUPeak:      499.2e9,
+		InjectionBW:  10e9, // Aries per-node injection
+		HPLPflops:    21.2,
+		ProcsPerNode: 2,
+	}
+}
+
+// Summit is the OLCF system: six V100 GPUs and two POWER9 CPUs per node.
+func Summit() Machine {
+	return Machine{
+		Name:           "Summit",
+		Nodes:          4608,
+		GPUsPerNode:    6,
+		GPUPeak:        7.0e12,
+		CPUPeak:        515.76e9,
+		TensorCorePeak: 120e12,
+		InjectionBW:    23e9, // §7.1.8
+		HPLPflops:      148.6,
+		ProcsPerNode:   6,
+	}
+}
+
+// Phase efficiencies achieved by DaCe OMEN on Summit, read off Table 11
+// (achieved Pflop/s over machine peak for the participating nodes). These
+// encode how compute-bound (GF) or memory-bound (BC, SSE) each phase is —
+// the roofline positions of Fig. 10.
+const (
+	EffBoundary = 0.2012 // 20.12% of peak
+	EffRGF      = 0.7222 // 72.22% of peak: near the HPL ceiling
+	EffSSE      = 0.2587 // 25.87% of peak: memory-bound small matmuls
+	// EffSSEMixed is the effective double-precision-equivalent rate gain
+	// of the Tensor-Core SSE relative to SSE-64 (41.91 s → 36.16 s in
+	// Table 11).
+	EffSSEMixed = EffSSE * 41.91 / 36.16
+	// AlltoallUtilization is the measured fraction of the injection-
+	// bandwidth lower bound achieved by the D≷/Π≷ exchange (§7.1.8).
+	AlltoallUtilization = 0.8457
+	// AlltoallUtilizationG is the same for the G≷/Σ≷ exchange.
+	AlltoallUtilizationG = 0.4232
+)
+
+// OMENEfficiency is the fraction of peak the original OMEN SSE kernel
+// sustains (Table 10: 1.3% on Piz Daint for SSE; its GF phase runs at
+// 23.2%).
+const (
+	OMENEffGF  = 0.232
+	OMENEffSSE = 0.013
+)

@@ -1,0 +1,288 @@
+package negf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bc"
+	"repro/internal/blocktri"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/rgf"
+)
+
+// pointResult carries the observables extracted from one (kz, E) solve.
+type pointResult struct {
+	currentL, currentR float64   // Meir-Wingreen contact currents
+	energyL            float64   // contact energy current (left)
+	interfaceCurrent   []float64 // per slab interface
+	interfaceEnergy    []float64
+	dissipatedPerSlab  []float64
+	ie                 int       // energy index of this point
+	ldos               []float64 // −(1/π)·Im tr Gᴿ per slab
+}
+
+// electronPhase solves the electron Green's functions for every (kz, E)
+// point in parallel and fills the G≷ tensors.
+func (s *Solver) electronPhase() error {
+	p := s.Dev.P
+	// H(kz) is E-independent: assemble once per momentum point.
+	hams := make([]*blocktri.Matrix, p.Nkz)
+	for ik := 0; ik < p.Nkz; ik++ {
+		hams[ik] = s.Dev.Hamiltonian(ik)
+	}
+
+	npts := p.Nkz * p.NE
+	results := make([]*pointResult, npts)
+	spectral := make([]float64, p.NE)
+	var specMu sync.Mutex
+	var firstErr atomic.Value
+
+	parallelPoints(npts, func(idx int) {
+		if firstErr.Load() != nil {
+			return
+		}
+		ik, ie := idx/p.NE, idx%p.NE
+		res, jE, err := s.solveElectronPoint(hams[ik], ik, ie)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
+			return
+		}
+		results[idx] = res
+		specMu.Lock()
+		spectral[ie] += jE
+		specMu.Unlock()
+	})
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+
+	// Reduce the per-point observables.
+	obs := &s.Obs
+	obs.resetElectron(p)
+	copy(obs.SpectralCurrent, spectral)
+	w := p.DE / (2 * 3.141592653589793) / float64(p.Nkz)
+	for _, r := range results {
+		obs.CurrentL += w * r.currentL
+		obs.CurrentR += w * r.currentR
+		obs.EnergyCurrentL += w * r.energyL
+		for i := range r.interfaceCurrent {
+			obs.InterfaceCurrent[i] += w * r.interfaceCurrent[i]
+			obs.InterfaceEnergyCurrent[i] += w * r.interfaceEnergy[i]
+		}
+		for i := range r.dissipatedPerSlab {
+			obs.DissipatedPower[i] += w * r.dissipatedPerSlab[i]
+		}
+		for i := range r.ldos {
+			obs.LDOS[i][r.ie] += r.ldos[i] / float64(p.Nkz)
+		}
+	}
+	return nil
+}
+
+// solveElectronPoint builds and solves one (kz, E) RGF problem.
+func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResult, float64, error) {
+	p := s.Dev.P
+	e := p.Energy(ie)
+	z := complex(e, p.Eta)
+	nb := p.Bnum
+	bs := p.ElBlockSize()
+
+	// A = (E+iη)·S − H − Σᴿ_B − Σᴿ_S. S = I in the orthonormal basis but
+	// the same assembly holds for general S.
+	a := blocktri.New(h.Sizes)
+	for i := 0; i < nb; i++ {
+		linalg.Scale(a.Diag[i], -1, h.Diag[i])
+		for r := 0; r < bs; r++ {
+			a.Diag[i].Set(r, r, a.Diag[i].At(r, r)+z)
+		}
+	}
+	for i := 0; i+1 < nb; i++ {
+		linalg.Scale(a.Upper[i], -1, h.Upper[i])
+		linalg.Scale(a.Lower[i], -1, h.Lower[i])
+	}
+
+	// Open boundaries: semi-infinite periodic extensions of the edge slabs.
+	left, err := s.bcCache.Get(0, ik, ie, func() (*bc.Result, error) {
+		d00 := a.Diag[0].Clone()
+		return bc.SurfaceGF(d00, a.Lower[0], 0, 0)
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("left boundary: %w", err)
+	}
+	right, err := s.bcCache.Get(1, ik, ie, func() (*bc.Result, error) {
+		d00 := a.Diag[nb-1].Clone()
+		return bc.SurfaceGF(d00, a.Upper[nb-2], 0, 0)
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("right boundary: %w", err)
+	}
+	linalg.AXPY(a.Diag[0], -1, left.SigmaR)
+	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
+
+	// Lesser/greater injections: boundary (Fermi-filled broadening) plus
+	// the scattering self-energies from the previous SSE phase.
+	fL := device.FermiDirac(e, p.MuL(), p.TC)
+	fR := device.FermiDirac(e, p.MuR(), p.TC)
+	sigL := make([]*linalg.Matrix, nb)
+	sigG := make([]*linalg.Matrix, nb)
+	for i := 0; i < nb; i++ {
+		sigL[i] = linalg.New(bs, bs)
+		sigG[i] = linalg.New(bs, bs)
+	}
+	linalg.AXPY(sigL[0], complex(0, fL), left.Gamma)
+	linalg.AXPY(sigG[0], complex(0, -(1-fL)), left.Gamma)
+	linalg.AXPY(sigL[nb-1], complex(0, fR), right.Gamma)
+	linalg.AXPY(sigG[nb-1], complex(0, -(1-fR)), right.Gamma)
+
+	// Scatter the per-atom scattering self-energies into slab blocks:
+	// Σᴿ_S = (Σ> − Σ<)/2 into A, Σ≷_S into the injections.
+	rows := p.AtomsPerSlab()
+	norb := p.Norb
+	for a2 := 0; a2 < p.Na; a2++ {
+		sl := s.Dev.SlabOf[a2]
+		off := (a2 - sl*rows) * norb
+		sL := s.SigL.Block(ik, ie, a2)
+		sG := s.SigG.Block(ik, ie, a2)
+		for r := 0; r < norb; r++ {
+			for c := 0; c < norb; c++ {
+				v := sL[r*norb+c]
+				g := sG[r*norb+c]
+				sigL[sl].Set(off+r, off+c, sigL[sl].At(off+r, off+c)+v)
+				sigG[sl].Set(off+r, off+c, sigG[sl].At(off+r, off+c)+g)
+				// Σᴿ = (Σ> − Σ<)/2 (anti-Hermitian part; the principal-
+				// value real part is neglected, standard in SCBA solvers).
+				a.Diag[sl].Set(off+r, off+c, a.Diag[sl].At(off+r, off+c)-(g-v)/2)
+			}
+		}
+	}
+
+	sol, err := rgf.Solve(&rgf.Problem{A: a, SigL: sigL, SigG: sigG})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Harvest the per-atom diagonal blocks into the G≷ tensors.
+	for a2 := 0; a2 < p.Na; a2++ {
+		sl := s.Dev.SlabOf[a2]
+		off := (a2 - sl*rows) * norb
+		dstL := s.GL.Block(ik, ie, a2)
+		dstG := s.GG.Block(ik, ie, a2)
+		src := sol.GL[sl]
+		srcG := sol.GG[sl]
+		for r := 0; r < norb; r++ {
+			copy(dstL[r*norb:(r+1)*norb], src.Data[(off+r)*src.Cols+off:(off+r)*src.Cols+off+norb])
+			copy(dstG[r*norb:(r+1)*norb], srcG.Data[(off+r)*srcG.Cols+off:(off+r)*srcG.Cols+off+norb])
+		}
+	}
+
+	// Observables. Meir-Wingreen contact currents:
+	// I_c(E) = Tr[Σ<_c·G> − Σ>_c·G<] evaluated at the contact slab.
+	res := &pointResult{
+		interfaceCurrent:  make([]float64, nb-1),
+		interfaceEnergy:   make([]float64, nb-1),
+		dissipatedPerSlab: make([]float64, nb),
+		ie:                ie,
+		ldos:              make([]float64, nb),
+	}
+	for i := 0; i < nb; i++ {
+		var tr complex128
+		for r := 0; r < bs; r++ {
+			tr += sol.GR[i].At(r, r)
+		}
+		res.ldos[i] = -imag(tr) / 3.141592653589793
+	}
+	gammaTermL := contactCurrent(left.Gamma, fL, sol.GL[0], sol.GG[0])
+	gammaTermR := contactCurrent(right.Gamma, fR, sol.GL[nb-1], sol.GG[nb-1])
+	res.currentL = gammaTermL
+	res.currentR = gammaTermR
+	res.energyL = e * gammaTermL
+
+	// Interface currents, rightward-positive: in the steady ballistic
+	// state these equal the left-contact injection current.
+	// J_{i→i+1} = 2·Re Tr[H_{i,i+1}·G<_{i+1,i}].
+	for i := 0; i+1 < nb; i++ {
+		j := 2 * realTraceMul(h.Upper[i], sol.GLLower[i])
+		res.interfaceCurrent[i] = j
+		res.interfaceEnergy[i] = e * j
+	}
+
+	// Local collision integral: energy transferred to the lattice in each
+	// slab, E·Tr[Σ<_S·G> − Σ>_S·G<] with scattering self-energies only.
+	for a2 := 0; a2 < p.Na; a2++ {
+		sl := s.Dev.SlabOf[a2]
+		off := (a2 - sl*rows) * norb
+		sL := s.SigL.Block(ik, ie, a2)
+		sG := s.SigG.Block(ik, ie, a2)
+		var tr complex128
+		for r := 0; r < norb; r++ {
+			for c := 0; c < norb; c++ {
+				gG := sol.GG[sl].At(off+c, off+r)
+				gL := sol.GL[sl].At(off+c, off+r)
+				tr += sL[r*norb+c]*gG - sG[r*norb+c]*gL
+			}
+		}
+		res.dissipatedPerSlab[sl] += e * real(tr)
+	}
+
+	return res, gammaTermL, nil
+}
+
+// contactCurrent computes Tr[Σ<_c·G> − Σ>_c·G<] with Σ<_c = i·f·Γ and
+// Σ>_c = −i·(1−f)·Γ, reduced to real arithmetic:
+// = Re{ i·Tr[Γ·(f·G> + (1−f)·G<)] }.
+func contactCurrent(gamma *linalg.Matrix, f float64, gl, gg *linalg.Matrix) float64 {
+	n := gamma.Rows
+	var tr complex128
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			tr += gamma.At(r, c) * (complex(f, 0)*gg.At(c, r) + complex(1-f, 0)*gl.At(c, r))
+		}
+	}
+	return real(complex(0, 1) * tr)
+}
+
+// realTraceMul returns Re Tr[A·B].
+func realTraceMul(a, b *linalg.Matrix) float64 {
+	var tr complex128
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		for c, av := range arow {
+			tr += av * b.Data[c*b.Cols+r]
+		}
+	}
+	return real(tr)
+}
+
+// parallelPoints distributes independent (momentum, energy) solves over a
+// worker pool — the natural parallelism of the GF phase.
+func parallelPoints(n int, work func(idx int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

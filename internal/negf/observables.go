@@ -1,0 +1,226 @@
+package negf
+
+import (
+	"math"
+
+	"repro/internal/device"
+)
+
+// Observables are the physical outputs of a GF phase — the quantities
+// plotted in Figs. 1(d) and 11 of the paper: currents, energy currents,
+// dissipated power, and the atomically resolved temperature.
+type Observables struct {
+	// CurrentL/R are the Meir-Wingreen electron currents at the source and
+	// drain contacts (arbitrary units; equal magnitude, opposite sign in
+	// steady state).
+	CurrentL, CurrentR float64
+	// SpectralCurrent is the left-contact current per energy point —
+	// the spectral distribution in the middle panel of Fig. 11.
+	SpectralCurrent []float64
+	// EnergyCurrentL is the electron energy current at the source.
+	EnergyCurrentL float64
+	// InterfaceCurrent[i] is the electron current across the slab i→i+1
+	// interface; constant along x for a converged solution.
+	InterfaceCurrent []float64
+	// InterfaceEnergyCurrent[i] is the electron energy current profile —
+	// the dashed blue line of Fig. 11 (left).
+	InterfaceEnergyCurrent []float64
+	// PhononInterfaceEnergy[i] is the phonon heat-current profile — the
+	// dash-dotted green line of Fig. 11 (left).
+	PhononInterfaceEnergy []float64
+	// PhononEnergyCurrentL is the phonon heat current into the source.
+	PhononEnergyCurrentL float64
+	// DissipatedPower[i] is the energy/time transferred from electrons to
+	// the lattice in slab i (P_diss of Fig. 11).
+	DissipatedPower []float64
+	// AtomTemperature[a] is the effective lattice temperature per atom (K),
+	// extracted from the local phonon occupation — Fig. 1(d).
+	AtomTemperature []float64
+	// ElectronEnergyLoss and PhononEnergyGain are the totals of the two
+	// collision integrals; their agreement is the energy-conservation
+	// check the paper uses to validate the GF+SSE implementation (§8.1).
+	ElectronEnergyLoss float64
+	PhononEnergyGain   float64
+	// LDOS[i][n] is the electron local density of states of slab i at
+	// energy E_n, −(1/π)·Im tr Gᴿ_ii averaged over kz — the "conduction
+	// band edge" backdrop of Fig. 11 (middle).
+	LDOS [][]float64
+}
+
+func (o *Observables) resetElectron(p device.Params) {
+	o.CurrentL, o.CurrentR, o.EnergyCurrentL = 0, 0, 0
+	o.SpectralCurrent = make([]float64, p.NE)
+	o.InterfaceCurrent = make([]float64, p.Bnum-1)
+	o.InterfaceEnergyCurrent = make([]float64, p.Bnum-1)
+	o.DissipatedPower = make([]float64, p.Bnum)
+	o.LDOS = make([][]float64, p.Bnum)
+	for i := range o.LDOS {
+		o.LDOS[i] = make([]float64, p.NE)
+	}
+}
+
+// BandEdge returns, per slab, the lowest energy at which the LDOS exceeds
+// the given fraction of its slab maximum — a discrete estimate of the
+// conduction-band-edge profile drawn in Fig. 11 (middle).
+func (o *Observables) BandEdge(p device.Params, frac float64) []float64 {
+	out := make([]float64, len(o.LDOS))
+	for i, dos := range o.LDOS {
+		var mx float64
+		for _, v := range dos {
+			if v > mx {
+				mx = v
+			}
+		}
+		out[i] = p.Energy(p.NE - 1)
+		for n, v := range dos {
+			if v >= frac*mx {
+				out[i] = p.Energy(n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (o *Observables) resetPhonon(p device.Params) {
+	o.PhononEnergyCurrentL = 0
+	o.PhononInterfaceEnergy = make([]float64, p.Bnum-1)
+	if o.AtomTemperature == nil {
+		o.AtomTemperature = make([]float64, p.Na)
+	}
+}
+
+// finalizeObservables computes the cross-phase quantities after both GF
+// solves: the collision-integral totals whose balance expresses energy
+// conservation between the electron and phonon baths.
+func (s *Solver) finalizeObservables() {
+	p := s.Dev.P
+	we := p.DE / (2 * math.Pi) / float64(p.Nkz)
+	var re float64
+	bl := p.Norb * p.Norb
+	for ik := 0; ik < p.Nkz; ik++ {
+		for ie := 0; ie < p.NE; ie++ {
+			e := p.Energy(ie)
+			for a := 0; a < p.Na; a++ {
+				sl := s.SigL.Block(ik, ie, a)
+				sg := s.SigG.Block(ik, ie, a)
+				gl := s.GL.Block(ik, ie, a)
+				gg := s.GG.Block(ik, ie, a)
+				var tr complex128
+				for x := 0; x < bl; x++ {
+					r, c := x/p.Norb, x%p.Norb
+					tr += sl[r*p.Norb+c]*gg[c*p.Norb+r] - sg[r*p.Norb+c]*gl[c*p.Norb+r]
+				}
+				re += we * e * real(tr)
+			}
+		}
+	}
+	s.Obs.ElectronEnergyLoss = re
+
+	wp := p.DE / (2 * math.Pi) / float64(p.Nqz())
+	var rp float64
+	const n3 = device.N3D
+	for iq := 0; iq < p.Nqz(); iq++ {
+		for m := 1; m <= p.Nomega; m++ {
+			om := p.Omega(m)
+			for a := 0; a < p.Na; a++ {
+				for slot := 0; slot <= len(s.Dev.Neigh[a]); slot++ {
+					// Pair Π_ab with D_ba: the transpose-partner block.
+					var dG, dL []complex128
+					if slot == 0 {
+						dG = s.DG.Block(iq, m-1, a, 0)
+						dL = s.DL.Block(iq, m-1, a, 0)
+					} else {
+						b := s.Dev.Neigh[a][slot-1]
+						back := s.Dev.NeighbourSlot(b, a)
+						dG = s.DG.Block(iq, m-1, b, 1+back)
+						dL = s.DL.Block(iq, m-1, b, 1+back)
+					}
+					pl := s.PiL.Block(iq, m-1, a, slot)
+					pg := s.PiG.Block(iq, m-1, a, slot)
+					var tr complex128
+					for r := 0; r < n3; r++ {
+						for c := 0; c < n3; c++ {
+							tr += pg[r*n3+c]*dL[c*n3+r] - pl[r*n3+c]*dG[c*n3+r]
+						}
+					}
+					// The ½ compensates the pair double-count of this
+					// trace metric relative to the four-block D̃
+					// displacement combination entering Σ (each physical
+					// emission appears in both Π_ab and the Π_aa l-sum).
+					rp += 0.5 * wp * om * real(tr)
+				}
+			}
+		}
+	}
+	s.Obs.PhononEnergyGain = rp
+}
+
+// fitTemperatures extracts the per-atom effective lattice temperature from
+// the non-equilibrium phonon occupations: find T_a such that the
+// Bose-weighted spectral energy matches the observed local energy,
+// Σ_m ω_m·n_B(ω_m, T_a)·dos_a(ω_m) = Σ_m ω_m·occ_a(ω_m).
+func (s *Solver) fitTemperatures(occ [][]float64) {
+	p := s.Dev.P
+	for a := 0; a < p.Na; a++ {
+		var target, weight float64
+		for m := 1; m <= p.Nomega; m++ {
+			target += p.Omega(m) * occ[a][m-1]
+			weight += p.Omega(m) * s.phDOS[a][m-1]
+		}
+		if weight <= 0 {
+			s.Obs.AtomTemperature[a] = p.TC
+			continue
+		}
+		energyAt := func(t float64) float64 {
+			var u float64
+			for m := 1; m <= p.Nomega; m++ {
+				u += p.Omega(m) * device.BoseEinstein(p.Omega(m), t) * s.phDOS[a][m-1]
+			}
+			return u
+		}
+		// Bisection on T ∈ [1, 5000] K; energyAt is monotone in T.
+		lo, hi := 1.0, 5000.0
+		if target <= energyAt(lo) {
+			s.Obs.AtomTemperature[a] = lo
+			continue
+		}
+		if target >= energyAt(hi) {
+			s.Obs.AtomTemperature[a] = hi
+			continue
+		}
+		for it := 0; it < 60; it++ {
+			mid := (lo + hi) / 2
+			if energyAt(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		s.Obs.AtomTemperature[a] = (lo + hi) / 2
+	}
+}
+
+// SlabTemperature averages the atomic temperatures per slab — the
+// "average crystal temperature along x" curve of Fig. 11 (middle).
+func (o *Observables) SlabTemperature(dev *device.Device) []float64 {
+	out := make([]float64, dev.P.Bnum)
+	for sInd, atoms := range dev.Slabs {
+		var sum float64
+		for _, a := range atoms {
+			sum += o.AtomTemperature[a]
+		}
+		out[sInd] = sum / float64(len(atoms))
+	}
+	return out
+}
+
+// TotalEnergyCurrent returns the combined electron+phonon energy-current
+// profile; its flatness is the Fig. 11 conservation statement.
+func (o *Observables) TotalEnergyCurrent() []float64 {
+	out := make([]float64, len(o.InterfaceEnergyCurrent))
+	for i := range out {
+		out[i] = o.InterfaceEnergyCurrent[i] + o.PhononInterfaceEnergy[i]
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package negf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bc"
+	"repro/internal/blocktri"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/rgf"
+)
+
+// phononPointResult carries observables from one (qz, ω) solve.
+type phononPointResult struct {
+	energyContactL  float64
+	interfaceEnergy []float64
+	// Per-atom spectral weight and occupation at this frequency.
+	dos []float64
+	occ []float64
+}
+
+// phononPhase solves the phonon Green's functions for every (qz, ω) point
+// and fills the D≷ tensors, the phonon DOS, and the heat observables.
+func (s *Solver) phononPhase() error {
+	p := s.Dev.P
+	dyns := make([]*blocktri.Matrix, p.Nqz())
+	for iq := 0; iq < p.Nqz(); iq++ {
+		dyns[iq] = s.Dev.Dynamical(iq)
+	}
+
+	npts := p.Nqz() * p.Nomega
+	results := make([]*phononPointResult, npts)
+	omegaOf := make([]int, npts)
+	var firstErr atomic.Value
+
+	parallelPoints(npts, func(idx int) {
+		if firstErr.Load() != nil {
+			return
+		}
+		iq, m := idx/p.Nomega, idx%p.Nomega+1
+		res, err := s.solvePhononPoint(dyns[iq], iq, m)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
+			return
+		}
+		results[idx] = res
+		omegaOf[idx] = m
+	})
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+
+	obs := &s.Obs
+	obs.resetPhonon(p)
+	if s.phDOS == nil {
+		s.phDOS = make([][]float64, p.Na)
+		for a := range s.phDOS {
+			s.phDOS[a] = make([]float64, p.Nomega)
+		}
+	}
+	occ := make([][]float64, p.Na)
+	for a := range occ {
+		occ[a] = make([]float64, p.Nomega)
+	}
+	// phDOS holds only the latest GF pass; clear before accumulating.
+	for a := 0; a < p.Na; a++ {
+		for m := 0; m < p.Nomega; m++ {
+			s.phDOS[a][m] = 0
+		}
+	}
+	w := p.DE / (2 * 3.141592653589793) / float64(p.Nqz())
+	for idx, r := range results {
+		m := omegaOf[idx]
+		omega := p.Omega(m)
+		obs.PhononEnergyCurrentL += w * omega * r.energyContactL
+		for i := range r.interfaceEnergy {
+			obs.PhononInterfaceEnergy[i] += w * omega * r.interfaceEnergy[i]
+		}
+		for a := 0; a < p.Na; a++ {
+			s.phDOS[a][m-1] += r.dos[a] / float64(p.Nqz())
+			occ[a][m-1] += r.occ[a] / float64(p.Nqz())
+		}
+	}
+	s.fitTemperatures(occ)
+	return nil
+}
+
+// solvePhononPoint builds and solves one (qz, ω) RGF problem:
+// ((ω+iη)²·I − Φ − Πᴿ)·Dᴿ = I, D≷ = Dᴿ·Π≷·Dᴬ.
+func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPointResult, error) {
+	p := s.Dev.P
+	omega := p.Omega(m)
+	z := complex(omega, p.Eta)
+	z2 := z * z
+	nb := p.Bnum
+	bs := p.PhBlockSize()
+
+	a := blocktri.New(phi.Sizes)
+	for i := 0; i < nb; i++ {
+		linalg.Scale(a.Diag[i], -1, phi.Diag[i])
+		for r := 0; r < bs; r++ {
+			a.Diag[i].Set(r, r, a.Diag[i].At(r, r)+z2)
+		}
+	}
+	for i := 0; i+1 < nb; i++ {
+		linalg.Scale(a.Upper[i], -1, phi.Upper[i])
+		linalg.Scale(a.Lower[i], -1, phi.Lower[i])
+	}
+
+	// Open boundaries at the contact temperature, computed from the bare
+	// lead blocks (the semi-infinite contacts stay in equilibrium, so the
+	// boundary is independent of the scattering self-energies and can be
+	// cached across iterations, §7.1.2).
+	left, err := s.bcCache.Get(2, iq, m, func() (*bc.Result, error) {
+		return bc.SurfaceGF(a.Diag[0].Clone(), a.Lower[0], 0, 0)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("left phonon boundary: %w", err)
+	}
+	right, err := s.bcCache.Get(3, iq, m, func() (*bc.Result, error) {
+		return bc.SurfaceGF(a.Diag[nb-1].Clone(), a.Upper[nb-2], 0, 0)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("right phonon boundary: %w", err)
+	}
+	linalg.AXPY(a.Diag[0], -1, left.SigmaR)
+	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
+
+	// Scatter the retarded scattering self-energy Πᴿ = (Π> − Π<)/2 into A:
+	// per-atom diagonal blocks plus neighbour blocks (same-slab neighbours
+	// land inside the slab diagonal; cross-slab neighbours in Upper/Lower).
+	s.scatterPiRetarded(a, iq, m)
+
+	// Equilibrium contacts: Π<_B = −i·n_B·Γ, Π>_B = −i·(n_B+1)·Γ.
+	n := device.BoseEinstein(omega, p.TC)
+	sigL := make([]*linalg.Matrix, nb)
+	sigG := make([]*linalg.Matrix, nb)
+	for i := 0; i < nb; i++ {
+		sigL[i] = linalg.New(bs, bs)
+		sigG[i] = linalg.New(bs, bs)
+	}
+	linalg.AXPY(sigL[0], complex(0, -n), left.Gamma)
+	linalg.AXPY(sigG[0], complex(0, -(n+1)), left.Gamma)
+	linalg.AXPY(sigL[nb-1], complex(0, -n), right.Gamma)
+	linalg.AXPY(sigG[nb-1], complex(0, -(n+1)), right.Gamma)
+	s.scatterPiInjections(sigL, sigG, iq, m)
+
+	sol, err := rgf.Solve(&rgf.Problem{A: a, SigL: sigL, SigG: sigG})
+	if err != nil {
+		return nil, err
+	}
+
+	// Harvest D≷ into the 6-D tensors: diagonal slot plus Nb neighbours.
+	rows := p.AtomsPerSlab()
+	const n3 = device.N3D
+	for at := 0; at < p.Na; at++ {
+		sa := s.Dev.SlabOf[at]
+		ra := (at - sa*rows) * n3
+		copyWindow(s.DL.Block(iq, m-1, at, 0), sol.GL[sa], ra, ra, n3)
+		copyWindow(s.DG.Block(iq, m-1, at, 0), sol.GG[sa], ra, ra, n3)
+		for slot, b := range s.Dev.Neigh[at] {
+			sb := s.Dev.SlabOf[b]
+			rb := (b - sb*rows) * n3
+			var srcL, srcG *linalg.Matrix
+			var r0, c0 int
+			switch {
+			case sb == sa:
+				srcL, srcG, r0, c0 = sol.GL[sa], sol.GG[sa], ra, rb
+			case sb == sa+1:
+				srcL, srcG, r0, c0 = sol.GLUpper[sa], sol.GGUpper[sa], ra, rb
+			default: // sb == sa-1
+				srcL, srcG, r0, c0 = sol.GLLower[sb], sol.GGLower[sb], ra, rb
+			}
+			copyWindow(s.DL.Block(iq, m-1, at, 1+slot), srcL, r0, c0, n3)
+			copyWindow(s.DG.Block(iq, m-1, at, 1+slot), srcG, r0, c0, n3)
+		}
+	}
+
+	res := &phononPointResult{
+		interfaceEnergy: make([]float64, nb-1),
+		dos:             make([]float64, p.Na),
+		occ:             make([]float64, p.Na),
+	}
+	// Contact heat current (Meir-Wingreen form for phonons).
+	res.energyContactL = phononContactCurrent(left.Gamma, n, sol.GL[0], sol.GG[0])
+	// Interface heat flux, rightward-positive. The phonon energy-current
+	// operator on the ω²-axis Green's function carries the opposite sign
+	// to the electron particle-current form (the flux involves the
+	// velocity u̇ ~ iω·u rather than the density):
+	// JQ_{i→i+1} = −2·Re Tr[Φ_{i,i+1}·D<_{i+1,i}]. Validated by the
+	// outward-from-hot-spot flow in the self-heating tests.
+	for i := 0; i+1 < nb; i++ {
+		res.interfaceEnergy[i] = -2 * realTraceMul(phi.Upper[i], sol.GLLower[i])
+	}
+	// Local spectral weight and occupation for the temperature map:
+	// dos_a = −2·Im tr Dᴿ_aa, occ_a = −Im tr D<_aa = n_eff·dos_a.
+	for at := 0; at < p.Na; at++ {
+		sa := s.Dev.SlabOf[at]
+		ra := (at - sa*rows) * n3
+		var trR, trL complex128
+		for d := 0; d < n3; d++ {
+			trR += sol.GR[sa].At(ra+d, ra+d)
+			trL += sol.GL[sa].At(ra+d, ra+d)
+		}
+		res.dos[at] = -2 * imag(trR)
+		res.occ[at] = -imag(trL)
+	}
+	return res, nil
+}
+
+// scatterPiRetarded adds Πᴿ_S = (Π> − Π<)/2 blocks into the assembled A.
+func (s *Solver) scatterPiRetarded(a *blocktri.Matrix, iq, m int) {
+	p := s.Dev.P
+	rows := p.AtomsPerSlab()
+	const n3 = device.N3D
+	addBlock := func(dst *linalg.Matrix, r0, c0 int, pl, pg []complex128) {
+		for r := 0; r < n3; r++ {
+			for c := 0; c < n3; c++ {
+				dst.Set(r0+r, c0+c, dst.At(r0+r, c0+c)-(pg[r*n3+c]-pl[r*n3+c])/2)
+			}
+		}
+	}
+	for at := 0; at < p.Na; at++ {
+		sa := s.Dev.SlabOf[at]
+		ra := (at - sa*rows) * n3
+		addBlock(a.Diag[sa], ra, ra, s.PiL.Block(iq, m-1, at, 0), s.PiG.Block(iq, m-1, at, 0))
+		for slot, b := range s.Dev.Neigh[at] {
+			sb := s.Dev.SlabOf[b]
+			rb := (b - sb*rows) * n3
+			pl := s.PiL.Block(iq, m-1, at, 1+slot)
+			pg := s.PiG.Block(iq, m-1, at, 1+slot)
+			switch {
+			case sb == sa:
+				addBlock(a.Diag[sa], ra, rb, pl, pg)
+			case sb == sa+1:
+				addBlock(a.Upper[sa], ra, rb, pl, pg)
+			default: // sb == sa-1
+				addBlock(a.Lower[sb], ra, rb, pl, pg)
+			}
+		}
+	}
+}
+
+// scatterPiInjections adds the Π≷_S blocks into the block-diagonal RGF
+// injections. Same-slab neighbour blocks are included; the few cross-slab
+// injection blocks are outside the block-diagonal form the lesser
+// recursion consumes and are dropped (see DESIGN.md §5).
+func (s *Solver) scatterPiInjections(sigL, sigG []*linalg.Matrix, iq, m int) {
+	p := s.Dev.P
+	rows := p.AtomsPerSlab()
+	const n3 = device.N3D
+	add := func(dst *linalg.Matrix, r0, c0 int, src []complex128) {
+		for r := 0; r < n3; r++ {
+			for c := 0; c < n3; c++ {
+				dst.Set(r0+r, c0+c, dst.At(r0+r, c0+c)+src[r*n3+c])
+			}
+		}
+	}
+	for at := 0; at < p.Na; at++ {
+		sa := s.Dev.SlabOf[at]
+		ra := (at - sa*rows) * n3
+		add(sigL[sa], ra, ra, s.PiL.Block(iq, m-1, at, 0))
+		add(sigG[sa], ra, ra, s.PiG.Block(iq, m-1, at, 0))
+		for slot, b := range s.Dev.Neigh[at] {
+			if s.Dev.SlabOf[b] != sa {
+				continue
+			}
+			rb := (b - sa*rows) * n3
+			add(sigL[sa], ra, rb, s.PiL.Block(iq, m-1, at, 1+slot))
+			add(sigG[sa], ra, rb, s.PiG.Block(iq, m-1, at, 1+slot))
+		}
+	}
+}
+
+// phononContactCurrent computes Tr[Π<_c·D> − Π>_c·D<] with
+// Π<_c = −i·n·Γ, Π>_c = −i·(n+1)·Γ:
+// = Re{ −i·Tr[Γ·(n·D> − (n+1)·D<)] }.
+func phononContactCurrent(gamma *linalg.Matrix, n float64, dl, dg *linalg.Matrix) float64 {
+	sz := gamma.Rows
+	var tr complex128
+	for r := 0; r < sz; r++ {
+		for c := 0; c < sz; c++ {
+			tr += gamma.At(r, c) * (complex(n, 0)*dg.At(c, r) - complex(n+1, 0)*dl.At(c, r))
+		}
+	}
+	return real(complex(0, -1) * tr)
+}
+
+// copyWindow copies an n×n window at (r0, c0) of src into dst (row-major).
+func copyWindow(dst []complex128, src *linalg.Matrix, r0, c0, n int) {
+	for r := 0; r < n; r++ {
+		copy(dst[r*n:(r+1)*n], src.Data[(r0+r)*src.Cols+c0:(r0+r)*src.Cols+c0+n])
+	}
+}

@@ -1,0 +1,32 @@
+package negf
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestSmokeInspect prints the main observables on a tiny device — kept as
+// a cheap end-to-end exercise of both phases plus one SSE application.
+func TestSmokeInspect(t *testing.T) {
+	p := device.TestParams(16, 4, 2)
+	p.NE = 20
+	p.Nomega = 3
+	dev := device.MustBuild(p)
+	s := New(dev, DefaultOptions())
+	if err := s.GFPhase(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ballistic: IL=%g IR=%g Esrc=%g", s.Obs.CurrentL, s.Obs.CurrentR, s.Obs.EnergyCurrentL)
+	t.Logf("interface currents: %v", s.Obs.InterfaceCurrent)
+	t.Logf("phonon heat: L=%g profile=%v", s.Obs.PhononEnergyCurrentL, s.Obs.PhononInterfaceEnergy)
+	t.Logf("T: %v", s.Obs.SlabTemperature(dev))
+	s.SSEPhase()
+	if err := s.GFPhase(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("after 1 SCBA iter: IL=%g IR=%g", s.Obs.CurrentL, s.Obs.CurrentR)
+	t.Logf("Re=%g Rph=%g", s.Obs.ElectronEnergyLoss, s.Obs.PhononEnergyGain)
+	t.Logf("interface currents: %v", s.Obs.InterfaceCurrent)
+	t.Logf("T: %v", s.Obs.SlabTemperature(dev))
+}

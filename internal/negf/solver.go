@@ -1,0 +1,167 @@
+// Package negf orchestrates the self-consistent DFT+NEGF electro-thermal
+// simulation: the GF phase (open-boundary conditions + RGF solves for all
+// electron (kz, E) and phonon (qz, ω) points) alternating with the SSE
+// phase (scattering self-energies) until the electronic current converges —
+// the outer loop of Fig. 4 in the paper.
+package negf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bc"
+	"repro/internal/device"
+	"repro/internal/sse"
+	"repro/internal/tensor"
+)
+
+// Options configures a solver run.
+type Options struct {
+	// Kernel selects the SSE implementation (default sse.DaCe{}).
+	Kernel sse.Kernel
+	// CacheMode selects boundary-condition caching (§7.1.2).
+	CacheMode bc.Mode
+	// Mixing is the linear self-consistency mixing factor in (0, 1].
+	Mixing float64
+	// MaxIter bounds the GF↔SSE iterations.
+	MaxIter int
+	// Tol is the relative change of the contact current at convergence.
+	Tol float64
+	// Anderson enables depth-1 Anderson acceleration of the
+	// self-consistency iteration instead of plain linear mixing — an
+	// extension beyond the paper's solver (see anderson.go).
+	Anderson bool
+}
+
+// DefaultOptions returns the settings used by the examples and tests.
+func DefaultOptions() Options {
+	return Options{
+		Kernel:    sse.DaCe{},
+		CacheMode: bc.CacheBC,
+		Mixing:    0.5,
+		MaxIter:   25,
+		Tol:       1e-5,
+	}
+}
+
+// Solver holds the simulation state across iterations.
+type Solver struct {
+	Dev  *device.Device
+	Opts Options
+
+	// Green's function tensors (outputs of the GF phase).
+	GL, GG *tensor.Electron
+	DL, DG *tensor.Phonon
+	// Scattering self-energy tensors (outputs of the SSE phase, inputs to
+	// the next GF phase).
+	SigL, SigG *tensor.Electron
+	PiL, PiG   *tensor.Phonon
+
+	// Per-atom phonon spectral weight A_a(ω) = −2·Im tr Dᴿ_aa, averaged
+	// over qz, used by the temperature extraction.
+	phDOS [][]float64
+
+	bcCache  *bc.Cache
+	anderson *andersonState
+	Obs      Observables
+
+	// IterTrace records per-iteration convergence data (Fig. 7b style).
+	IterTrace []IterStats
+}
+
+// IterStats captures one self-consistent iteration.
+type IterStats struct {
+	Iter         int
+	Current      float64 // left-contact electron current (a.u.)
+	RelChange    float64
+	SSEStats     sse.Stats
+	ElEnergyLoss float64 // R_e: electron energy lost to the lattice
+	PhEnergyGain float64 // R_ph: energy absorbed by the phonon bath
+}
+
+// New allocates a solver for dev.
+func New(dev *device.Device, opts Options) *Solver {
+	if opts.Kernel == nil {
+		opts.Kernel = sse.DaCe{}
+	}
+	if opts.Mixing <= 0 || opts.Mixing > 1 {
+		opts.Mixing = 0.5
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 25
+	}
+	p := dev.P
+	nbp1 := dev.MaxNb() + 1
+	return &Solver{
+		Dev:     dev,
+		Opts:    opts,
+		GL:      tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
+		GG:      tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
+		DL:      tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
+		DG:      tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
+		SigL:    tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
+		SigG:    tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
+		PiL:     tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
+		PiG:     tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
+		bcCache: bc.NewCache(opts.CacheMode),
+	}
+}
+
+// ErrNotConverged reports that MaxIter was reached before Tol.
+var ErrNotConverged = errors.New("negf: self-consistent loop did not converge")
+
+// Run executes the self-consistent GF↔SSE loop. It returns the final
+// observables; ErrNotConverged still leaves valid (unconverged) results.
+func (s *Solver) Run() (*Observables, error) {
+	prev := math.NaN()
+	for it := 0; it < s.Opts.MaxIter; it++ {
+		if err := s.GFPhase(); err != nil {
+			return nil, fmt.Errorf("negf: GF phase (iteration %d): %w", it, err)
+		}
+		stats := s.SSEPhase()
+
+		cur := s.Obs.CurrentL
+		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
+		s.IterTrace = append(s.IterTrace, IterStats{
+			Iter: it, Current: cur, RelChange: rel, SSEStats: stats,
+			ElEnergyLoss: s.Obs.ElectronEnergyLoss, PhEnergyGain: s.Obs.PhononEnergyGain,
+		})
+		if it > 0 && rel < s.Opts.Tol {
+			return &s.Obs, nil
+		}
+		prev = cur
+	}
+	return &s.Obs, ErrNotConverged
+}
+
+// GFPhase computes all Green's functions for the current self-energies and
+// refreshes the observables.
+func (s *Solver) GFPhase() error {
+	if err := s.electronPhase(); err != nil {
+		return err
+	}
+	if err := s.phononPhase(); err != nil {
+		return err
+	}
+	s.finalizeObservables()
+	return nil
+}
+
+// SSEPhase evaluates the scattering self-energies from the current Green's
+// functions and mixes them into the solver state.
+func (s *Solver) SSEPhase() sse.Stats {
+	out := s.Opts.Kernel.Compute(&sse.Input{
+		Dev: s.Dev, GL: s.GL, GG: s.GG, DL: s.DL, DG: s.DG,
+	})
+	if s.Opts.Anderson {
+		s.mixAnderson(out.SigL.Data, out.SigG.Data, out.PiL.Data, out.PiG.Data)
+		return out.Stats
+	}
+	mix := s.Opts.Mixing
+	s.SigL.Mix(out.SigL, mix)
+	s.SigG.Mix(out.SigG, mix)
+	s.PiL.Mix(out.PiL, mix)
+	s.PiG.Mix(out.PiG, mix)
+	return out.Stats
+}

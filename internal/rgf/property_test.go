@@ -1,0 +1,145 @@
+package rgf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// TestRGFMatchesDenseProperty fuzzes random block structures (count and
+// sizes) and checks every returned block against the dense oracle.
+func TestRGFMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + rng.Intn(5)
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(4)
+		}
+		p := randomProblem(rng, sizes)
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		grD, glD, ggD, err := DenseReference(p)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-7
+		for i := range sizes {
+			if linalg.MaxDiff(sol.GR[i], blockAt(grD, p.A, i, i)) > tol {
+				return false
+			}
+			if linalg.MaxDiff(sol.GL[i], blockAt(glD, p.A, i, i)) > tol {
+				return false
+			}
+			if linalg.MaxDiff(sol.GG[i], blockAt(ggD, p.A, i, i)) > tol {
+				return false
+			}
+		}
+		for i := 0; i+1 < nb; i++ {
+			if linalg.MaxDiff(sol.GLUpper[i], blockAt(glD, p.A, i, i+1)) > tol {
+				return false
+			}
+			if linalg.MaxDiff(sol.GGLower[i], blockAt(ggD, p.A, i+1, i)) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetardedAdvancedSymmetry: Gᴬ = (Gᴿ)ᴴ must hold blockwise, i.e. the
+// dense inverse of Aᴴ equals the conjugate transpose of A⁻¹. RGF only
+// returns Gᴿ; verify its Hermitian partner solves the adjoint problem.
+func TestRetardedAdvancedSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, []int{3, 4, 3})
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aD := p.A.Dense()
+	gaD := linalg.MustInverse(aD.H())
+	for i := range sol.GR {
+		got := sol.GR[i].H()
+		want := blockAt(gaD, p.A, i, i)
+		if linalg.MaxDiff(got, want) > 1e-8 {
+			t.Fatalf("block %d: (GR)ᴴ does not solve the adjoint problem", i)
+		}
+	}
+}
+
+// TestGreaterLesserDifference: with our Σᴿ convention the identity
+// G> − G< = Gᴿ·(Σ> − Σ<)·Gᴬ holds exactly; verify blockwise.
+func TestGreaterLesserDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := randomProblem(rng, []int{2, 3, 2})
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grD, glD, ggD, err := DenseReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = grD
+	n := glD.Rows
+	diffDense := linalg.Sub(linalg.New(n, n), ggD, glD)
+	for i := range sol.GL {
+		diff := linalg.Sub(linalg.New(sol.GL[i].Rows, sol.GL[i].Cols), sol.GG[i], sol.GL[i])
+		want := blockAt(diffDense, p.A, i, i)
+		if linalg.MaxDiff(diff, want) > 1e-8 {
+			t.Fatalf("block %d: G>−G< mismatch", i)
+		}
+	}
+}
+
+// TestFlopCountScaling: the measured flops of an RGF solve scale linearly
+// with the block count at fixed block size (the O(bnum·bs³) claim).
+func TestFlopCountScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	measure := func(nb int) int64 {
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = 6
+		}
+		p := randomProblem(rng, sizes)
+		linalg.EnableFlopCounting(true)
+		linalg.ResetFlops()
+		if _, err := Solve(p); err != nil {
+			t.Fatal(err)
+		}
+		fl := linalg.Flops()
+		linalg.EnableFlopCounting(false)
+		return fl
+	}
+	f4 := measure(4)
+	f8 := measure(8)
+	ratio := float64(f8) / float64(f4)
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Fatalf("doubling bnum should ~double the flops, got %.2fx", ratio)
+	}
+}
+
+// TestSolveDoesNotMutateInputs: A and Σ≷ must be untouched.
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomProblem(rng, []int{3, 3})
+	aBefore := p.A.Dense()
+	sBefore := p.SigL[0].Clone()
+	if _, err := Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxDiff(p.A.Dense(), aBefore) != 0 {
+		t.Fatal("Solve mutated A")
+	}
+	if linalg.MaxDiff(p.SigL[0], sBefore) != 0 {
+		t.Fatal("Solve mutated Σ<")
+	}
+}

@@ -1,0 +1,300 @@
+package sse
+
+import (
+	"sync/atomic"
+
+	"repro/internal/batch"
+	"repro/internal/linalg"
+)
+
+// DaCe is the data-centric SSE kernel after the Fig. 6 transformation
+// chain: ❶ map fission materializes the ∇H·G≷ products as transients,
+// ❷ the data layout places the energy axis contiguous ("constant stride"),
+// ❸ the accumulated products collapse into strided-batched multiplications
+// with a fixed right operand (SBSMM), and ❹ the maps are fused back per
+// atom. The result is bit-wise the same self-energies as OMEN with ~6·Nω
+// fewer matrix multiplications; the surviving work is scalar AXPY streams,
+// which is why SSE lands in the memory-bound region of the roofline
+// (Fig. 10).
+// Atoms optionally restricts the kernel to a subset of atoms (nil = all):
+// Σ≷_aa and the Π≷_a* blocks are produced only for listed atoms. ELo/EHi
+// restrict the electron energy range [ELo, EHi) owned by this instance
+// (0,0 = full range): Σ≷ is written only at owned energies and Π≷ sums
+// only over pairs whose base energy is owned. Together these express the
+// Ta×TE tile of the communication-avoiding decomposition (Fig. 5, right);
+// summing outputs over a partition of atoms×energies reproduces the full
+// result.
+type DaCe struct {
+	Atoms    []int
+	ELo, EHi int
+}
+
+// Name implements Kernel.
+func (DaCe) Name() string { return "DaCe" }
+
+// Compute implements Kernel.
+func (d DaCe) Compute(in *Input) *Output {
+	return daceCompute(in, nil, d.restrict(in))
+}
+
+// restrict normalizes the tile description.
+func (d DaCe) restrict(in *Input) *restriction {
+	r := &restriction{atoms: d.Atoms, elo: d.ELo, ehi: d.EHi}
+	if r.atoms == nil {
+		r.atoms = make([]int, in.GL.Na)
+		for i := range r.atoms {
+			r.atoms[i] = i
+		}
+	}
+	if r.ehi <= 0 {
+		r.ehi = in.GL.NE
+	}
+	return r
+}
+
+// restriction is the resolved tile: the atom list and owned energy range.
+type restriction struct {
+	atoms    []int
+	elo, ehi int
+}
+
+// transient holds the ∇iH·G≷ products for one ordered pair:
+// layout [3 directions][Nkz][NE][Norb²] with the energy axis contiguous
+// per direction/momentum — the step-❷ data layout.
+type transient struct {
+	data    []complex128
+	nkz, ne int
+	bl      int
+}
+
+func newTransient(nkz, ne, bl int) *transient {
+	return &transient{data: make([]complex128, 3*nkz*ne*bl), nkz: nkz, ne: ne, bl: bl}
+}
+
+func (t *transient) block(i, ik, ie int) []complex128 {
+	o := ((i*t.nkz+ik)*t.ne + ie) * t.bl
+	return t.data[o : o+t.bl]
+}
+
+// eRow returns the contiguous [NE][Norb²] row for (direction, momentum) —
+// the strided batch the SBSMM operates on.
+func (t *transient) eRow(i, ik int) []complex128 {
+	o := (i*t.nkz + ik) * t.ne * t.bl
+	return t.data[o : o+t.ne*t.bl]
+}
+
+// quantizer optionally maps tensors into emulated fp16 before use; nil
+// means full double precision. It is how the Mixed kernel reuses the DaCe
+// schedule.
+type quantizer struct {
+	gradH   func(a, b, i int) *linalg.Matrix
+	gBlock  func(lesser bool, ik, ie, a int) []complex128
+	weights func(wl, wg *[9]complex128)
+	// denorm rescales the final accumulations (inverse normalization).
+	denormSigma complex128
+	denormPi    complex128
+}
+
+func daceCompute(in *Input, q *quantizer, restr *restriction) *Output {
+	if restr == nil {
+		restr = (DaCe{}).restrict(in)
+	}
+	out := newOutput(in)
+	p := in.Dev.P
+	norb := p.Norb
+	bl := norb * norb
+	nw := p.Nomega
+	nkz, ne := p.Nkz, p.NE
+	prefS := prefSigma(p)
+	prefP := prefPi(p)
+	if q != nil {
+		prefS *= q.denormSigma
+		prefP *= q.denormPi
+	}
+	gradH := in.Dev.GradH
+	gBlock := func(lesser bool, ik, ie, a int) []complex128 {
+		if lesser {
+			return in.GL.Block(ik, ie, a)
+		}
+		return in.GG.Block(ik, ie, a)
+	}
+	if q != nil {
+		gradH = q.gradH
+		gBlock = q.gBlock
+	}
+
+	var matmuls, scalarOps atomic.Int64
+
+	parallelAtoms(len(restr.atoms), func(ai int) {
+		a := restr.atoms[ai]
+		var wl, wg [9]complex128
+		var localMuls, localScalar int64
+		// Per-pair transients and accumulators, reused across neighbours.
+		pLab := newTransient(nkz, ne, bl) // ∇iH_ab·G<_bb
+		pGab := newTransient(nkz, ne, bl) // ∇iH_ab·G>_bb
+		pLba := newTransient(nkz, ne, bl) // ∇iH_ba·G<_aa
+		pGba := newTransient(nkz, ne, bl) // ∇iH_ba·G>_aa
+		vL := newTransient(nkz, ne, bl)   // Σ-stage accumulators, per j
+		vG := newTransient(nkz, ne, bl)
+		cBuf := make([]complex128, ne*bl) // SBSMM output row
+		gm := linalg.FromSlice(norb, norb, make([]complex128, bl))
+
+		for slotAB, b := range in.Dev.Neigh[a] {
+			slotBA := in.Dev.NeighbourSlot(b, a)
+
+			// ── Stage ❶: map fission — materialize the ∇H·G transients.
+			for i := 0; i < 3; i++ {
+				gab := gradH(a, b, i)
+				gba := gradH(b, a, i)
+				for ik := 0; ik < nkz; ik++ {
+					for ie := 0; ie < ne; ie++ {
+						gm.Data = gBlock(true, ik, ie, b)
+						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0,
+							linalg.FromSlice(norb, norb, pLab.block(i, ik, ie)))
+						gm.Data = gBlock(false, ik, ie, b)
+						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0,
+							linalg.FromSlice(norb, norb, pGab.block(i, ik, ie)))
+						gm.Data = gBlock(true, ik, ie, a)
+						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0,
+							linalg.FromSlice(norb, norb, pLba.block(i, ik, ie)))
+						gm.Data = gBlock(false, ik, ie, a)
+						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0,
+							linalg.FromSlice(norb, norb, pGba.block(i, ik, ie)))
+						localMuls += 4
+					}
+				}
+			}
+
+			// ── Stage ❷: ω-stencil accumulation with the energy axis
+			// contiguous. V_j(kz,E) gathers every (qz, ω, i) contribution
+			// as scalar AXPYs; the matrix multiplications by ∇jH_ba are
+			// deferred to stage ❸.
+			zero(vL.data)
+			zero(vG.data)
+			for iq := 0; iq < nkz; iq++ {
+				for m := 1; m <= nw; m++ {
+					dTilde(in.DL, in.DG, iq, m-1, a, b, slotAB, slotBA, &wl, &wg)
+					if q != nil {
+						q.weights(&wl, &wg)
+					}
+					for ik := 0; ik < nkz; ik++ {
+						ikq := ((ik-iq)%nkz + nkz) % nkz
+						for i := 0; i < 3; i++ {
+							for j := 0; j < 3; j++ {
+								wle, wge := wl[i*3+j], wg[i*3+j]
+								if wle == 0 && wge == 0 {
+									continue
+								}
+								for ie := 0; ie < ne; ie++ {
+									vLrow := vL.block(j, ik, ie)
+									vGrow := vG.block(j, ik, ie)
+									if ie-m >= 0 {
+										axpyRow(vLrow, wle, pLab.block(i, ikq, ie-m))
+										axpyRow(vGrow, wge, pGab.block(i, ikq, ie-m))
+									}
+									if ie+m < ne {
+										axpyRow(vLrow, wge, pLab.block(i, ikq, ie+m))
+										axpyRow(vGrow, wle, pGab.block(i, ikq, ie+m))
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			localScalar += int64(9*nkz*nkz*nw) * int64(2*ne) * int64(bl) * 8
+
+			// ── Stage ❸: strided-batched SBSMM with fixed right operand
+			// ∇jH_ba over the contiguous energy batch, then fused
+			// scatter-accumulate into Σ≷ (stage ❹).
+			eCount := restr.ehi - restr.elo
+			for j := 0; j < 3; j++ {
+				gjh := gradH(b, a, j)
+				for ik := 0; ik < nkz; ik++ {
+					zero(cBuf[:eCount*bl])
+					batch.SBSMMFixedB(cBuf[:eCount*bl], vL.eRow(j, ik)[restr.elo*bl:restr.ehi*bl], gjh.Data, norb, eCount)
+					localMuls += int64(eCount)
+					for ie := restr.elo; ie < restr.ehi; ie++ {
+						axpyRow(out.SigL.Block(ik, ie, a), prefS, cBuf[(ie-restr.elo)*bl:(ie-restr.elo+1)*bl])
+					}
+					zero(cBuf[:eCount*bl])
+					batch.SBSMMFixedB(cBuf[:eCount*bl], vG.eRow(j, ik)[restr.elo*bl:restr.ehi*bl], gjh.Data, norb, eCount)
+					localMuls += int64(eCount)
+					for ie := restr.elo; ie < restr.ehi; ie++ {
+						axpyRow(out.SigG.Block(ik, ie, a), prefS, cBuf[(ie-restr.elo)*bl:(ie-restr.elo+1)*bl])
+					}
+				}
+			}
+
+			// ── Π≷ via the same transients: trace contractions replace
+			// the OMEN matmul+trace, and the (a,b) kernel feeds both the
+			// neighbour block and the diagonal l-sum of Eq. (3).
+			for iq := 0; iq < nkz; iq++ {
+				for m := 1; m <= nw; m++ {
+					piLd := out.PiL.Block(iq, m-1, a, 0)
+					piGd := out.PiG.Block(iq, m-1, a, 0)
+					piLn := out.PiL.Block(iq, m-1, a, 1+slotAB)
+					piGn := out.PiG.Block(iq, m-1, a, 1+slotAB)
+					for i := 0; i < 3; i++ {
+						for j := 0; j < 3; j++ {
+							var sumL, sumG complex128
+							for ik := 0; ik < nkz; ik++ {
+								ikpq := (ik + iq) % nkz
+								eMax := restr.ehi
+								if ne-m < eMax {
+									eMax = ne - m
+								}
+								for ie := restr.elo; ie < eMax; ie++ {
+									// tr[(∇iH_ba·G≷_aa(E+ω))·(∇jH_ab·G≶_bb(E))]
+									sumL += traceDot(pLba.block(i, ikpq, ie+m), pGab.block(j, ik, ie), norb)
+									sumG += traceDot(pGba.block(i, ikpq, ie+m), pLab.block(j, ik, ie), norb)
+								}
+							}
+							piLd[i*3+j] += prefP * sumL
+							piGd[i*3+j] += prefP * sumG
+							piLn[i*3+j] += prefP * sumL
+							piGn[i*3+j] += prefP * sumG
+						}
+					}
+				}
+			}
+			localScalar += int64(9*nkz*nkz*nw) * int64(ne) * int64(bl) * 16
+		}
+		matmuls.Add(localMuls)
+		scalarOps.Add(localScalar)
+	})
+
+	n3 := int64(norb) * int64(norb) * int64(norb)
+	out.Stats = Stats{
+		MatMuls:   matmuls.Load(),
+		Flops:     matmuls.Load() * 8 * n3,
+		ScalarOps: scalarOps.Load(),
+		BytesMoved: in.GL.Bytes() + in.GG.Bytes() + in.DL.Bytes() + in.DG.Bytes() +
+			out.SigL.Bytes() + out.SigG.Bytes() + out.PiL.Bytes() + out.PiG.Bytes(),
+	}
+	return out
+}
+
+// traceDot computes tr(X·Y) for row-major n×n blocks.
+func traceDot(x, y []complex128, n int) complex128 {
+	var t complex128
+	for r := 0; r < n; r++ {
+		xr := x[r*n : (r+1)*n]
+		for s, xv := range xr {
+			t += xv * y[s*n+r]
+		}
+	}
+	return t
+}
+
+func axpyRow(dst []complex128, s complex128, src []complex128) {
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+func zero(v []complex128) {
+	for i := range v {
+		v[i] = 0
+	}
+}

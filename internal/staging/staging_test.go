@@ -1,0 +1,79 @@
+package staging
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestNaiveScalesLinearly(t *testing.T) {
+	f := Default()
+	t1 := f.NaiveTime(1<<30, 1000)
+	t2 := f.NaiveTime(1<<30, 2000)
+	if t2/t1 < 1.99 || t2/t1 > 2.01 {
+		t.Fatalf("naive ingestion should scale linearly with nodes: %g", t2/t1)
+	}
+}
+
+func TestStagedIndependentOfNodes(t *testing.T) {
+	f := Default()
+	if f.StagedTime(1<<30, 100) != f.StagedTime(1<<30, 5000) {
+		t.Fatal("staged ingestion should not depend on node count")
+	}
+}
+
+func TestPaperCalibration(t *testing.T) {
+	// §7.1.1: 1,112 s at 2,589 nodes naive; 31.1 s staged at 4,560 nodes;
+	// "over 30 minutes" at 5,300 nodes.
+	f := Default()
+	const bytes = 10 * (1 << 30)
+	naive := f.NaiveTime(bytes, 2589)
+	if naive < 900 || naive > 1400 {
+		t.Fatalf("naive(2589) = %.0f s, paper measured 1,112 s", naive)
+	}
+	full := f.NaiveTime(bytes, 5300)
+	if full < 1800 {
+		t.Fatalf("naive(5300) = %.0f s, paper says over 30 minutes", full)
+	}
+	staged := f.StagedTime(bytes, 4560)
+	if staged < 15 || staged > 60 {
+		t.Fatalf("staged(4560) = %.1f s, paper measured 31.1 s", staged)
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	rows := Compare([]int{100, 2589, 4560})
+	for _, r := range rows {
+		if r.StagedSec >= r.NaiveSec && r.Nodes > 10 {
+			t.Fatalf("staging should win at %d nodes", r.Nodes)
+		}
+	}
+	// The win grows with scale.
+	if rows[2].Speedup <= rows[0].Speedup {
+		t.Fatal("staging advantage should grow with node count")
+	}
+}
+
+func TestChunkedBcastDeliversData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]complex128, 1000)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	w := comm.NewWorld(8)
+	if err := ChunkedBcast(w, data, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Volume: (P−1) × payload, regardless of chunking.
+	want := int64(7) * int64(len(data)) * 16
+	if got := w.Stats().BytesSent; got != want {
+		t.Fatalf("broadcast volume %d, want %d", got, want)
+	}
+}
+
+func TestChunkedBcastRejectsBadChunk(t *testing.T) {
+	if err := ChunkedBcast(comm.NewWorld(2), make([]complex128, 4), 0); err == nil {
+		t.Fatal("expected error for zero chunk")
+	}
+}
