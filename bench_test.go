@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/device"
+	"repro/internal/dist"
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/negf"
@@ -371,6 +373,28 @@ func BenchmarkFigure11_SelfConsistentIteration(b *testing.B) {
 		}
 		s.SSEPhase()
 	}
+}
+
+// ── distributed end-to-end loop (internal/dist) ──
+
+// BenchmarkDistributedLoop runs the full GF↔SSE self-consistent loop on
+// 4 simulated ranks for two iterations — the end-to-end cost the paper's
+// distributed solver pays per convergence step.
+func BenchmarkDistributedLoop(b *testing.B) {
+	dev := benchDevice()
+	opts := dist.DefaultOptions(4)
+	opts.MaxIter = 2
+	opts.Tol = 1e-300
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		res, err := dist.Run(dev, opts)
+		if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+			b.Fatal(err)
+		}
+		bytes = res.Comm.BytesSent
+	}
+	b.ReportMetric(float64(bytes), "bytes/run")
 }
 
 // ── §7.1.1: data ingestion ──

@@ -1,0 +1,193 @@
+// Command distsim runs the distributed self-consistent NEGF solver
+// (internal/dist) across a sweep of simulated MPI world sizes and reports,
+// per iteration, the measured communication volume of the SSE exchange
+// next to the analytic prediction of the paper's model
+// (internal/model/commvol.go) — the executable form of the scaling story
+// the paper tells for the full GF↔SSE loop.
+//
+// Two sweep modes:
+//
+//   - strong: a fixed structure solved on P ∈ {1, 2, 4, 8} ranks; the
+//     global contact current must be invariant (printed for inspection)
+//     while the per-rank work shrinks.
+//   - weak:   the energy grid grows with P (NE = ne·P), keeping the
+//     per-rank GF work constant while the exchange volume grows.
+//
+// Example:
+//
+//	distsim -mode both -na 24 -bnum 4 -norb 2 -ne 16 -nw 4 -iters 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/negf"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "sweep mode: strong, weak, or both")
+	na := flag.Int("na", 24, "atoms")
+	bnum := flag.Int("bnum", 4, "slabs")
+	norb := flag.Int("norb", 2, "orbitals per atom")
+	nkz := flag.Int("nkz", 3, "momentum points")
+	ne := flag.Int("ne", 16, "energy points (per rank in weak mode)")
+	nw := flag.Int("nw", 4, "phonon frequency points")
+	iters := flag.Int("iters", 3, "self-consistent iterations per run")
+	ranks := flag.String("ranks", "1,2,4,8", "comma-separated world sizes")
+	verify := flag.Bool("verify", true, "check currents against the sequential solver (strong mode)")
+	flag.Parse()
+
+	if *mode != "strong" && *mode != "weak" && *mode != "both" {
+		fmt.Fprintf(os.Stderr, "distsim: unknown mode %q (want strong, weak, or both)\n", *mode)
+		os.Exit(1)
+	}
+	ps, err := parseRanks(*ranks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	base := device.TestParams(*na, *bnum, *norb)
+	base.Nkz = *nkz
+	base.NE = *ne
+	base.Nomega = *nw
+
+	if *mode == "strong" || *mode == "both" {
+		runSweep("strong scaling (fixed structure)", base, ps, *iters, *verify,
+			func(p device.Params, _ int) device.Params { return p })
+	}
+	if *mode == "weak" || *mode == "both" {
+		runSweep("weak scaling (NE grows with P)", base, ps, *iters, false,
+			func(p device.Params, ranks int) device.Params {
+				p.NE = base.NE * ranks
+				return p
+			})
+	}
+}
+
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p <= 0 {
+			return nil, fmt.Errorf("distsim: bad rank count %q", f)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runSweep executes the distributed loop for every world size and prints
+// the measured-vs-modelled communication table.
+func runSweep(title string, base device.Params, ranks []int, iters int, verify bool,
+	scale func(device.Params, int) device.Params) {
+
+	fmt.Printf("── %s ──\n", title)
+	fmt.Printf("   base: Na=%d bnum=%d Norb=%d Nkz=%d NE=%d Nω=%d, %d iterations\n",
+		base.Na, base.Bnum, base.Norb, base.Nkz, base.NE, base.Nomega, iters)
+	fmt.Printf("   %2s  %5s  %14s  %13s  %13s  %6s  %11s  %8s\n",
+		"P", "ta×te", "current", "SSE meas/it", "SSE model/it", "ratio", "reduce/it", "time")
+
+	var refCurrent float64
+	haveRef := false
+	var a2aPerIter int64
+	for _, p := range ranks {
+		dp := scale(base, p)
+		dev, err := device.Build(dp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", p, err)
+			os.Exit(1)
+		}
+		opts := dist.DefaultOptions(p)
+		opts.MaxIter = iters
+		opts.Tol = 1e-300 // run all iterations: we are measuring, not converging
+		start := time.Now()
+		res, err := dist.Run(dev, opts)
+		if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+			fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", p, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+
+		var sseBytes, reduceBytes int64
+		for _, it := range res.IterTrace {
+			sseBytes += it.SSEBytes
+			reduceBytes += it.ReduceBytes
+		}
+		n := int64(len(res.IterTrace))
+		a2aPerIter = res.Comm.Collectives["Alltoallv"] / n
+		last := res.IterTrace[len(res.IterTrace)-1]
+		modelled := model.DaCeCommVolume(dev.P, opts.Ta, opts.TE)
+		ratio := float64(sseBytes/n) / modelled
+		fmt.Printf("   %2d  %2d×%-2d  %14.6e  %13s  %13s  %6.3f  %11s  %8s\n",
+			p, opts.Ta, opts.TE, last.Current,
+			fmtBytes(sseBytes/n), fmtBytes(int64(modelled)), ratio,
+			fmtBytes(reduceBytes/n), elapsed.Round(time.Millisecond))
+
+		if verify {
+			if !haveRef {
+				refCurrent = sequentialCurrent(dev, iters)
+				haveRef = true
+			}
+			rel := relDiff(last.Current, refCurrent)
+			status := "ok"
+			if rel > 1e-12 {
+				status = "MISMATCH"
+			}
+			fmt.Printf("       vs sequential: rel %.2e (%s)\n", rel, status)
+		}
+	}
+	fmt.Printf("   MPI collectives per iteration: %d Alltoallv measured, %d modelled (§6.1.2)\n",
+		a2aPerIter, model.DaCeMPIInvocations())
+	fmt.Println("   note: the model charges each rank its full tile halo, including the")
+	fmt.Println("   locally owned share; the runtime counts only off-rank bytes, so the")
+	fmt.Println("   measured/modelled ratio rises toward 1 as P grows.")
+	fmt.Println()
+}
+
+func sequentialCurrent(dev *device.Device, iters int) float64 {
+	opts := negf.DefaultOptions()
+	opts.MaxIter = iters
+	opts.Tol = 1e-300
+	s := negf.New(dev, opts)
+	if _, err := s.Run(); len(s.IterTrace) == 0 {
+		fmt.Fprintf(os.Stderr, "distsim: sequential reference failed: %v\n", err)
+		os.Exit(1)
+	}
+	return s.IterTrace[len(s.IterTrace)-1].Current
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

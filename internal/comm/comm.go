@@ -186,6 +186,7 @@ const (
 	tagAlltoall
 	tagBarrier
 	tagGather
+	tagAllgather
 )
 
 // Bcast sends root's data to every rank and returns the received copy
@@ -273,6 +274,26 @@ func (c *Comm) Gather(root int, data []complex128) [][]complex128 {
 			continue
 		}
 		out[r] = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Allgather collects every rank's buffer on every rank: the returned
+// slice holds rank r's contribution at index r, identical on all ranks.
+// Buffers may have different lengths (allgatherv semantics). Counted as
+// one collective; the flat-exchange volume is P·(P−1)·len·16 bytes for
+// equal-length buffers — the cost the distributed solver's per-rank
+// diagnostics pay.
+func (c *Comm) Allgather(data []complex128) [][]complex128 {
+	if c.rank == 0 {
+		c.world.countCollective("Allgather")
+	}
+	for r := 0; r < c.world.size; r++ {
+		c.Send(r, tagAllgather, data)
+	}
+	out := make([][]complex128, c.world.size)
+	for r := 0; r < c.world.size; r++ {
+		out[r] = c.Recv(r, tagAllgather)
 	}
 	return out
 }

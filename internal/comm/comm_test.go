@@ -234,3 +234,124 @@ func TestRunPropagatesError(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+func TestAllgather(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		// Variable-length contributions: rank r sends r+1 copies of r.
+		data := make([]complex128, c.Rank()+1)
+		for i := range data {
+			data[i] = complex(float64(c.Rank()), 0)
+		}
+		got := c.Allgather(data)
+		for r := 0; r < n; r++ {
+			if len(got[r]) != r+1 {
+				return fmt.Errorf("rank %d: got[%d] has %d elements", c.Rank(), r, len(got[r]))
+			}
+			for _, v := range got[r] {
+				if real(v) != float64(r) {
+					return fmt.Errorf("rank %d: got[%d] = %v", c.Rank(), r, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Collectives["Allgather"] != 1 {
+		t.Fatalf("Allgather count = %d", st.Collectives["Allgather"])
+	}
+	// Volume: each rank's len(data) elements travel to the other n−1 ranks.
+	want := int64(0)
+	for r := 0; r < n; r++ {
+		want += int64(r+1) * (n - 1) * 16
+	}
+	if st.BytesSent != want {
+		t.Fatalf("Allgather bytes = %d, want %d", st.BytesSent, want)
+	}
+}
+
+func TestAlltoallvZeroLengthRows(t *testing.T) {
+	const n = 3
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		// Only rank 0 → rank 2 carries payload; every other row is empty
+		// (nil or zero-length), the common case for sparse exchanges.
+		send := make([][]complex128, n)
+		if c.Rank() == 0 {
+			send[2] = []complex128{7}
+		}
+		recv := c.Alltoallv(send)
+		for from := 0; from < n; from++ {
+			want := 0
+			if c.Rank() == 2 && from == 0 {
+				want = 1
+			}
+			if len(recv[from]) != want {
+				return fmt.Errorf("rank %d: recv[%d] has %d elements, want %d",
+					c.Rank(), from, len(recv[from]), want)
+			}
+		}
+		if c.Rank() == 2 && recv[0][0] != 7 {
+			return fmt.Errorf("payload corrupted: %v", recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.BytesSent != 16 {
+		t.Fatalf("only the one non-empty row should count: %d bytes", st.BytesSent)
+	}
+}
+
+func TestAlltoallvSelfRow(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]complex128, 2)
+		send[c.Rank()] = []complex128{complex(float64(c.Rank()), 0)} // self-send row
+		recv := c.Alltoallv(send)
+		if len(recv[c.Rank()]) != 1 || real(recv[c.Rank()][0]) != float64(c.Rank()) {
+			return fmt.Errorf("self row lost: %v", recv[c.Rank()])
+		}
+		if len(recv[1-c.Rank()]) != 0 {
+			return fmt.Errorf("unexpected cross traffic: %v", recv[1-c.Rank()])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.BytesSent != 0 {
+		t.Fatalf("self rows must be free, got %d bytes", st.BytesSent)
+	}
+}
+
+func TestCollectivesOnSizeOneWorld(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		if sum := c.Reduce(0, []complex128{5}); sum[0] != 5 {
+			return fmt.Errorf("size-1 Reduce = %v", sum)
+		}
+		if all := c.Allreduce([]complex128{3}); all[0] != 3 {
+			return fmt.Errorf("size-1 Allreduce = %v", all)
+		}
+		if got := c.Bcast(0, []complex128{2}); got[0] != 2 {
+			return fmt.Errorf("size-1 Bcast = %v", got)
+		}
+		if got := c.Allgather([]complex128{9}); len(got) != 1 || got[0][0] != 9 {
+			return fmt.Errorf("size-1 Allgather = %v", got)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.BytesSent != 0 {
+		t.Fatalf("size-1 collectives must move no bytes, got %d", st.BytesSent)
+	}
+}

@@ -5,19 +5,214 @@ import (
 	"repro/internal/sse"
 )
 
-// RunDaCe executes the SSE phase under the communication-avoiding Ta×TE
-// atom×energy decomposition on the simulated MPI runtime — the Fig. 5
-// (right) scheme. The Green's functions start in the same distribution the
-// GF phase produces (pairs and phonon points block-distributed over the
-// ranks); exactly four Alltoallv collectives then move the data:
+// AtomSets precomputes the atom set (owned range + Nb halo) of every atom
+// tile; all ranks share the result.
+func (l *DaCeLayout) AtomSets() [][]int {
+	sets := make([][]int, l.Ta)
+	for t := 0; t < l.Ta; t++ {
+		sets[t] = l.AtomSet(t)
+	}
+	return sets
+}
+
+// ExchangeDaCe runs the communication-avoiding SSE phase from within one
+// already-running rank of a world: the four Alltoallv collectives of the
+// Fig. 5 (right) scheme plus the local tile computation.
 //
 //	#1  G≷  pair owners   → tiles (atom set + Nb halo, energy range + 2Nω halo)
 //	#2  D≷  point owners  → tiles (atom set + halo, all (qz, ω))
 //	#3  Σ≷  tiles         → pair owners
 //	#4  Π≷  tile partials → phonon point owners (summed on arrival)
 //
-// The local computation is the restricted DaCe kernel; the union of the
-// tiles reproduces the sequential result exactly.
+// local holds full-shape tensors with this rank's owned electron pairs and
+// phonon points (per the src layout) filled; its non-owned halo planes are
+// overwritten with received data. The returned output holds Σ≷ for the
+// owned pairs and fully-summed Π≷ for the owned points — the distribution
+// the next GF phase consumes. The union over ranks reproduces the
+// sequential kernel exactly.
+func ExchangeDaCe(c *comm.Comm, l *DaCeLayout, src *OMENLayout, atomSets [][]int, local *sse.Input) *sse.Output {
+	p := local.Dev.P
+	ranks := l.P()
+	r := c.Rank()
+	myTa, myTe := l.TileOf(r)
+	bl := local.GL.BlockLen()
+	pbl := local.DL.BlockLen() * local.DL.NbP1
+
+	// ── Alltoallv #1: G≷ to the tiles.
+	send := make([][]complex128, ranks)
+	for dst := 0; dst < ranks; dst++ {
+		dTa, dTe := l.TileOf(dst)
+		elo, ehi := l.EnergyHalo(dTe)
+		var buf []complex128
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := elo; ie < ehi; ie++ {
+				if src.PairOwner(ik, ie) != r {
+					continue
+				}
+				for _, a := range atomSets[dTa] {
+					buf = append(buf, local.GL.Block(ik, ie, a)...)
+					buf = append(buf, local.GG.Block(ik, ie, a)...)
+				}
+			}
+		}
+		send[dst] = buf
+	}
+	recv := c.Alltoallv(send)
+	{
+		elo, ehi := l.EnergyHalo(myTe)
+		for from := 0; from < ranks; from++ {
+			buf := recv[from]
+			pos := 0
+			for ik := 0; ik < p.Nkz; ik++ {
+				for ie := elo; ie < ehi; ie++ {
+					if src.PairOwner(ik, ie) != from {
+						continue
+					}
+					for _, a := range atomSets[myTa] {
+						copy(local.GL.Block(ik, ie, a), buf[pos:pos+bl])
+						copy(local.GG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
+						pos += 2 * bl
+					}
+				}
+			}
+		}
+	}
+
+	// ── Alltoallv #2: D≷ to the tiles (all phonon points, atom set).
+	send = make([][]complex128, ranks)
+	for dst := 0; dst < ranks; dst++ {
+		dTa, _ := l.TileOf(dst)
+		var buf []complex128
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if src.PhononOwner(iq, m) != r {
+					continue
+				}
+				for _, a := range atomSets[dTa] {
+					o := local.DL.Index(iq, m-1, a, 0)
+					buf = append(buf, local.DL.Data[o:o+pbl]...)
+					buf = append(buf, local.DG.Data[o:o+pbl]...)
+				}
+			}
+		}
+		send[dst] = buf
+	}
+	recv = c.Alltoallv(send)
+	for from := 0; from < ranks; from++ {
+		buf := recv[from]
+		pos := 0
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if src.PhononOwner(iq, m) != from {
+					continue
+				}
+				for _, a := range atomSets[myTa] {
+					o := local.DL.Index(iq, m-1, a, 0)
+					copy(local.DL.Data[o:o+pbl], buf[pos:pos+pbl])
+					copy(local.DG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
+					pos += 2 * pbl
+				}
+			}
+		}
+	}
+
+	// ── Local tile computation with the restricted DaCe kernel.
+	elo, ehi := l.EnergyRange(myTe)
+	out := (sse.DaCe{Atoms: l.OwnedAtoms(myTa), ELo: elo, EHi: ehi}).Compute(local)
+
+	// ── Alltoallv #3: Σ≷ back to the pair owners.
+	send = make([][]complex128, ranks)
+	owned := l.OwnedAtoms(myTa)
+	for dst := 0; dst < ranks; dst++ {
+		var buf []complex128
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := elo; ie < ehi; ie++ {
+				if src.PairOwner(ik, ie) != dst {
+					continue
+				}
+				for _, a := range owned {
+					buf = append(buf, out.SigL.Block(ik, ie, a)...)
+					buf = append(buf, out.SigG.Block(ik, ie, a)...)
+				}
+			}
+		}
+		send[dst] = buf
+	}
+	recv = c.Alltoallv(send)
+	for from := 0; from < ranks; from++ {
+		fTa, fTe := l.TileOf(from)
+		fLo, fHi := l.EnergyRange(fTe)
+		fOwned := l.OwnedAtoms(fTa)
+		buf := recv[from]
+		pos := 0
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := fLo; ie < fHi; ie++ {
+				if src.PairOwner(ik, ie) != r {
+					continue
+				}
+				for _, a := range fOwned {
+					copy(out.SigL.Block(ik, ie, a), buf[pos:pos+bl])
+					copy(out.SigG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
+					pos += 2 * bl
+				}
+			}
+		}
+	}
+
+	// ── Alltoallv #4: Π≷ partials to the phonon owners, summed there
+	// over the TE energy tiles.
+	send = make([][]complex128, ranks)
+	for dst := 0; dst < ranks; dst++ {
+		var buf []complex128
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if src.PhononOwner(iq, m) != dst {
+					continue
+				}
+				for _, a := range owned {
+					o := out.PiL.Index(iq, m-1, a, 0)
+					buf = append(buf, out.PiL.Data[o:o+pbl]...)
+					buf = append(buf, out.PiG.Data[o:o+pbl]...)
+				}
+			}
+		}
+		send[dst] = buf
+	}
+	recv = c.Alltoallv(send)
+	for from := 0; from < ranks; from++ {
+		if from == r {
+			continue // own partials already in place
+		}
+		fTa, _ := l.TileOf(from)
+		fOwned := l.OwnedAtoms(fTa)
+		buf := recv[from]
+		pos := 0
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if src.PhononOwner(iq, m) != r {
+					continue
+				}
+				for _, a := range fOwned {
+					o := out.PiL.Index(iq, m-1, a, 0)
+					addInto(out.PiL.Data[o:o+pbl], buf[pos:pos+pbl])
+					addInto(out.PiG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
+					pos += 2 * pbl
+				}
+			}
+		}
+	}
+
+	return out
+}
+
+// RunDaCe executes the SSE phase under the communication-avoiding Ta×TE
+// atom×energy decomposition on the simulated MPI runtime — the Fig. 5
+// (right) scheme. The Green's functions start in the same distribution the
+// GF phase produces (pairs and phonon points block-distributed over the
+// ranks); ExchangeDaCe then performs the four Alltoallv collectives and the
+// local tile computation. The returned Output is the full result gathered
+// on rank 0 (for verification), and Stats are the communication counters
+// measured before the verification gather.
 func RunDaCe(w *comm.World, in *sse.Input, ta, te int) (*sse.Output, comm.Stats, error) {
 	p := in.Dev.P
 	l := NewDaCeLayout(in.Dev, ta, te)
@@ -27,182 +222,14 @@ func RunDaCe(w *comm.World, in *sse.Input, ta, te int) (*sse.Output, comm.Stats,
 	final := newGathered(in)
 
 	// Precompute per-tile atom sets and halos once; all ranks share them.
-	atomSets := make([][]int, ta)
-	for t := 0; t < ta; t++ {
-		atomSets[t] = l.AtomSet(t)
-	}
+	atomSets := l.AtomSets()
 
 	err := w.Run(func(c *comm.Comm) error {
 		r := c.Rank()
-		myTa, myTe := l.TileOf(r)
 		local := localInput(in, func(ik, ie int) bool { return src.PairOwner(ik, ie) == r },
 			func(iq, m int) bool { return src.PhononOwner(iq, m) == r })
-		bl := in.GL.BlockLen()
-		pbl := in.DL.BlockLen() * in.DL.NbP1
 
-		// ── Alltoallv #1: G≷ to the tiles.
-		send := make([][]complex128, ranks)
-		for dst := 0; dst < ranks; dst++ {
-			dTa, dTe := l.TileOf(dst)
-			elo, ehi := l.EnergyHalo(dTe)
-			var buf []complex128
-			for ik := 0; ik < p.Nkz; ik++ {
-				for ie := elo; ie < ehi; ie++ {
-					if src.PairOwner(ik, ie) != r {
-						continue
-					}
-					for _, a := range atomSets[dTa] {
-						buf = append(buf, local.GL.Block(ik, ie, a)...)
-						buf = append(buf, local.GG.Block(ik, ie, a)...)
-					}
-				}
-			}
-			send[dst] = buf
-		}
-		recv := c.Alltoallv(send)
-		{
-			elo, ehi := l.EnergyHalo(myTe)
-			for from := 0; from < ranks; from++ {
-				buf := recv[from]
-				pos := 0
-				for ik := 0; ik < p.Nkz; ik++ {
-					for ie := elo; ie < ehi; ie++ {
-						if src.PairOwner(ik, ie) != from {
-							continue
-						}
-						for _, a := range atomSets[myTa] {
-							copy(local.GL.Block(ik, ie, a), buf[pos:pos+bl])
-							copy(local.GG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
-							pos += 2 * bl
-						}
-					}
-				}
-			}
-		}
-
-		// ── Alltoallv #2: D≷ to the tiles (all phonon points, atom set).
-		send = make([][]complex128, ranks)
-		for dst := 0; dst < ranks; dst++ {
-			dTa, _ := l.TileOf(dst)
-			var buf []complex128
-			for iq := 0; iq < p.Nqz(); iq++ {
-				for m := 1; m <= p.Nomega; m++ {
-					if src.PhononOwner(iq, m) != r {
-						continue
-					}
-					for _, a := range atomSets[dTa] {
-						o := local.DL.Index(iq, m-1, a, 0)
-						buf = append(buf, local.DL.Data[o:o+pbl]...)
-						buf = append(buf, local.DG.Data[o:o+pbl]...)
-					}
-				}
-			}
-			send[dst] = buf
-		}
-		recv = c.Alltoallv(send)
-		for from := 0; from < ranks; from++ {
-			buf := recv[from]
-			pos := 0
-			for iq := 0; iq < p.Nqz(); iq++ {
-				for m := 1; m <= p.Nomega; m++ {
-					if src.PhononOwner(iq, m) != from {
-						continue
-					}
-					for _, a := range atomSets[myTa] {
-						o := local.DL.Index(iq, m-1, a, 0)
-						copy(local.DL.Data[o:o+pbl], buf[pos:pos+pbl])
-						copy(local.DG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
-						pos += 2 * pbl
-					}
-				}
-			}
-		}
-
-		// ── Local tile computation with the restricted DaCe kernel.
-		elo, ehi := l.EnergyRange(myTe)
-		out := (sse.DaCe{Atoms: l.OwnedAtoms(myTa), ELo: elo, EHi: ehi}).Compute(local)
-
-		// ── Alltoallv #3: Σ≷ back to the pair owners.
-		send = make([][]complex128, ranks)
-		owned := l.OwnedAtoms(myTa)
-		for dst := 0; dst < ranks; dst++ {
-			var buf []complex128
-			for ik := 0; ik < p.Nkz; ik++ {
-				for ie := elo; ie < ehi; ie++ {
-					if src.PairOwner(ik, ie) != dst {
-						continue
-					}
-					for _, a := range owned {
-						buf = append(buf, out.SigL.Block(ik, ie, a)...)
-						buf = append(buf, out.SigG.Block(ik, ie, a)...)
-					}
-				}
-			}
-			send[dst] = buf
-		}
-		recv = c.Alltoallv(send)
-		for from := 0; from < ranks; from++ {
-			fTa, fTe := l.TileOf(from)
-			fLo, fHi := l.EnergyRange(fTe)
-			fOwned := l.OwnedAtoms(fTa)
-			buf := recv[from]
-			pos := 0
-			for ik := 0; ik < p.Nkz; ik++ {
-				for ie := fLo; ie < fHi; ie++ {
-					if src.PairOwner(ik, ie) != r {
-						continue
-					}
-					for _, a := range fOwned {
-						copy(out.SigL.Block(ik, ie, a), buf[pos:pos+bl])
-						copy(out.SigG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
-						pos += 2 * bl
-					}
-				}
-			}
-		}
-
-		// ── Alltoallv #4: Π≷ partials to the phonon owners, summed there
-		// over the TE energy tiles.
-		send = make([][]complex128, ranks)
-		for dst := 0; dst < ranks; dst++ {
-			var buf []complex128
-			for iq := 0; iq < p.Nqz(); iq++ {
-				for m := 1; m <= p.Nomega; m++ {
-					if src.PhononOwner(iq, m) != dst {
-						continue
-					}
-					for _, a := range owned {
-						o := out.PiL.Index(iq, m-1, a, 0)
-						buf = append(buf, out.PiL.Data[o:o+pbl]...)
-						buf = append(buf, out.PiG.Data[o:o+pbl]...)
-					}
-				}
-			}
-			send[dst] = buf
-		}
-		recv = c.Alltoallv(send)
-		for from := 0; from < ranks; from++ {
-			if from == r {
-				continue // own partials already in place
-			}
-			fTa, _ := l.TileOf(from)
-			fOwned := l.OwnedAtoms(fTa)
-			buf := recv[from]
-			pos := 0
-			for iq := 0; iq < p.Nqz(); iq++ {
-				for m := 1; m <= p.Nomega; m++ {
-					if src.PhononOwner(iq, m) != r {
-						continue
-					}
-					for _, a := range fOwned {
-						o := out.PiL.Index(iq, m-1, a, 0)
-						addInto(out.PiL.Data[o:o+pbl], buf[pos:pos+pbl])
-						addInto(out.PiG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
-						pos += 2 * pbl
-					}
-				}
-			}
-		}
+		out := ExchangeDaCe(c, l, src, atomSets, local)
 
 		// Snapshot traffic before the verification gather.
 		if r == 0 {

@@ -216,15 +216,13 @@ func localInput(in *sse.Input, ownPair func(ik, ie int) bool, ownPh func(iq, m i
 
 // electronPlane returns the contiguous all-atom slice of one (kz, E) point.
 func electronPlane(t *tensor.Electron, ik, ie int) []complex128 {
-	o := t.Index(ik, ie, 0)
-	return t.Data[o : o+t.Na*t.BlockLen()]
+	return t.Plane(ik, ie)
 }
 
 // phononPlane returns the contiguous all-atom slice of one (qz, ω) point
 // (m ∈ [1, Nω]).
 func phononPlane(t *tensor.Phonon, iq, m int) []complex128 {
-	o := t.Index(iq, m-1, 0, 0)
-	return t.Data[o : o+t.Na*t.NbP1*t.BlockLen()]
+	return t.Plane(iq, m-1)
 }
 
 func concat(a, b []complex128) []complex128 {

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// partialObs is one rank's additive share of the global observables — the
+// payload of the per-iteration Allreduce. Every field is a plain sum over
+// the rank's owned points, so the elementwise reduction of the packed
+// vectors yields the global values.
+type partialObs struct {
+	currentL, currentR float64
+	energyL            float64
+	phononEnergyL      float64
+	elLoss, phGain     float64
+	ifaceCur, ifaceEn  []float64
+	phIfaceEn          []float64
+	diss               []float64
+	spectral           []float64
+	sse                sse.Stats
+}
+
+func newPartialObs(p device.Params) *partialObs {
+	return &partialObs{
+		ifaceCur:  make([]float64, p.Bnum-1),
+		ifaceEn:   make([]float64, p.Bnum-1),
+		phIfaceEn: make([]float64, p.Bnum-1),
+		diss:      make([]float64, p.Bnum),
+		spectral:  make([]float64, p.NE),
+	}
+}
+
+// vecLen is the packed length: 6 scalars, three (Bnum−1) profiles, the
+// Bnum dissipation profile, the NE spectral current, and 4 kernel
+// counters.
+func vecLen(p device.Params) int {
+	return 6 + 3*(p.Bnum-1) + p.Bnum + p.NE + 4
+}
+
+// pack serializes the partial into the real parts of a complex vector,
+// the currency of the comm runtime.
+func (po *partialObs) pack() []complex128 {
+	out := make([]complex128, 0,
+		6+len(po.ifaceCur)+len(po.ifaceEn)+len(po.phIfaceEn)+len(po.diss)+len(po.spectral)+4)
+	put := func(vs ...float64) {
+		for _, v := range vs {
+			out = append(out, complex(v, 0))
+		}
+	}
+	put(po.currentL, po.currentR, po.energyL, po.phononEnergyL, po.elLoss, po.phGain)
+	put(po.ifaceCur...)
+	put(po.ifaceEn...)
+	put(po.phIfaceEn...)
+	put(po.diss...)
+	put(po.spectral...)
+	put(float64(po.sse.MatMuls), float64(po.sse.Flops),
+		float64(po.sse.ScalarOps), float64(po.sse.BytesMoved))
+	return out
+}
+
+// unpackObs deserializes a reduced vector back into the (now global)
+// observable totals.
+func unpackObs(v []complex128, p device.Params) *partialObs {
+	if len(v) != vecLen(p) {
+		panic("dist: observable vector length mismatch")
+	}
+	po := newPartialObs(p)
+	pos := 0
+	get := func() float64 { f := real(v[pos]); pos++; return f }
+	fill := func(dst []float64) {
+		for i := range dst {
+			dst[i] = get()
+		}
+	}
+	po.currentL, po.currentR = get(), get()
+	po.energyL, po.phononEnergyL = get(), get()
+	po.elLoss, po.phGain = get(), get()
+	fill(po.ifaceCur)
+	fill(po.ifaceEn)
+	fill(po.phIfaceEn)
+	fill(po.diss)
+	fill(po.spectral)
+	po.sse = sse.Stats{
+		MatMuls: int64(get()), Flops: int64(get()),
+		ScalarOps: int64(get()), BytesMoved: int64(get()),
+	}
+	return po
+}
+
+// observables converts a globally reduced partial into the sequential
+// solver's Observables shape (LDOS and AtomTemperature are filled by the
+// caller or left nil).
+func (po *partialObs) observables(p device.Params) negf.Observables {
+	return negf.Observables{
+		CurrentL:               po.currentL,
+		CurrentR:               po.currentR,
+		EnergyCurrentL:         po.energyL,
+		PhononEnergyCurrentL:   po.phononEnergyL,
+		ElectronEnergyLoss:     po.elLoss,
+		PhononEnergyGain:       po.phGain,
+		InterfaceCurrent:       po.ifaceCur,
+		InterfaceEnergyCurrent: po.ifaceEn,
+		PhononInterfaceEnergy:  po.phIfaceEn,
+		DissipatedPower:        po.diss,
+		SpectralCurrent:        po.spectral,
+	}
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blocktri"
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+	"repro/internal/tensor"
+)
+
+// runRank is one rank's life: persistent shard state across the whole
+// self-consistent loop. Only rank 0 writes into res (the caller reads it
+// after World.Run returns, which orders the accesses).
+func runRank(c *comm.Comm, w *comm.World, dev *device.Device, opts Options, res *Result) error {
+	p := dev.P
+	r := c.Rank()
+	ps := negf.NewPointSolver(dev, opts.CacheMode)
+	src := decomp.NewOMENLayout(p, opts.Ranks)
+	tiles := decomp.NewDaCeLayout(dev, opts.Ta, opts.TE)
+	atomSets := tiles.AtomSets()
+	pairs := src.OwnedPairs(r)
+	points := src.OwnedPhonon(r)
+
+	// H(kz) and Φ(qz) are self-energy-independent: assemble each owned
+	// momentum once for the whole run.
+	hams := make(map[int]*blocktri.Matrix)
+	for _, pr := range pairs {
+		if _, ok := hams[pr[0]]; !ok {
+			hams[pr[0]] = dev.Hamiltonian(pr[0])
+		}
+	}
+	dyns := make(map[int]*blocktri.Matrix)
+	for _, pt := range points {
+		if _, ok := dyns[pt[0]]; !ok {
+			dyns[pt[0]] = dev.Dynamical(pt[0])
+		}
+	}
+
+	// Per-atom phonon spectral weight and occupation partials of the last
+	// GF phase, reduced once after the loop for the temperature map.
+	dos := make([][]float64, p.Na)
+	occ := make([][]float64, p.Na)
+	for a := range dos {
+		dos[a] = make([]float64, p.Nomega)
+		occ[a] = make([]float64, p.Nomega)
+	}
+
+	in := &sse.Input{Dev: dev, GL: ps.GL, GG: ps.GG, DL: ps.DL, DG: ps.DG}
+	var global *partialObs
+	prev := math.NaN()
+	converged := false
+	for it := 0; it < opts.MaxIter; it++ {
+		// ── GF phase: RGF solves for the owned shard only. No traffic.
+		part, err := solveShard(ps, hams, dyns, pairs, points, dos, occ)
+		// A rank cannot abandon the collectives unilaterally — the others
+		// would block in the next exchange forever. Agree on failure first:
+		// one scalar Allreduce, nonzero iff any rank errored. The failing
+		// rank(s) then report the real error; healthy ranks exit cleanly.
+		var flag complex128
+		if err != nil {
+			flag = 1
+		}
+		if fail := c.Allreduce([]complex128{flag}); real(fail[0]) != 0 {
+			if err != nil {
+				return fmt.Errorf("dist: iteration %d: %w", it, err)
+			}
+			return nil
+		}
+
+		// ── SSE phase: four Alltoallv exchanges + local tile kernel, then
+		// linear mixing of the owned Σ≷/Π≷ planes.
+		before := snapshotBytes(c, w)
+		out := decomp.ExchangeDaCe(c, tiles, src, atomSets, in)
+		part.sse = out.Stats
+		// Linear mixing of the owned Σ≷/Π≷ planes — tensor.MixSlice is the
+		// same blend the sequential solver applies tensor-wide.
+		for _, pr := range pairs {
+			tensor.MixSlice(ps.SigL.Plane(pr[0], pr[1]), out.SigL.Plane(pr[0], pr[1]), opts.Mixing)
+			tensor.MixSlice(ps.SigG.Plane(pr[0], pr[1]), out.SigG.Plane(pr[0], pr[1]), opts.Mixing)
+		}
+		for _, pt := range points {
+			tensor.MixSlice(ps.PiL.Plane(pt[0], pt[1]-1), out.PiL.Plane(pt[0], pt[1]-1), opts.Mixing)
+			tensor.MixSlice(ps.PiG.Plane(pt[0], pt[1]-1), out.PiG.Plane(pt[0], pt[1]-1), opts.Mixing)
+		}
+		afterSSE := snapshotBytes(c, w)
+
+		// ── Convergence: Allreduce the packed observables so every rank
+		// sees the identical global contact current.
+		global = unpackObs(c.Allreduce(part.pack()), p)
+		afterReduce := snapshotBytes(c, w)
+
+		cur := global.currentL
+		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
+		if r == 0 {
+			res.IterTrace = append(res.IterTrace, IterStats{
+				Iter: it, Current: cur, RelChange: rel,
+				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
+				SSE:      global.sse,
+				SSEBytes: afterSSE - before, ReduceBytes: afterReduce - afterSSE,
+			})
+		}
+		if it > 0 && rel < opts.Tol {
+			converged = true
+			break
+		}
+		prev = cur
+	}
+
+	// ── Epilogue: reduce the spectral weight/occupation for the
+	// temperature map (dos in the real parts, occ in the imaginary) and
+	// gather the per-rank load report. Only rank 0 consumes either, so
+	// both collectives are rooted there — the measured volume stays what
+	// the algorithm strictly needs.
+	buf := make([]complex128, p.Na*p.Nomega)
+	for a := 0; a < p.Na; a++ {
+		for m := 0; m < p.Nomega; m++ {
+			buf[a*p.Nomega+m] = complex(dos[a][m], occ[a][m])
+		}
+	}
+	buf = c.Reduce(0, buf)
+	_, misses := ps.BC.Stats()
+	loads := c.Gather(0, []complex128{
+		complex(float64(len(pairs)), 0),
+		complex(float64(len(points)), 0),
+		complex(float64(misses), 0),
+	})
+
+	if r == 0 {
+		for a := 0; a < p.Na; a++ {
+			for m := 0; m < p.Nomega; m++ {
+				dos[a][m] = real(buf[a*p.Nomega+m])
+				occ[a][m] = imag(buf[a*p.Nomega+m])
+			}
+		}
+		res.Converged = converged
+		res.Obs = global.observables(p)
+		res.Obs.AtomTemperature = negf.FitTemperatures(p, dos, occ)
+		res.Load = make([]RankLoad, opts.Ranks)
+		for rank, l := range loads {
+			res.Load[rank] = RankLoad{
+				Rank:       rank,
+				Pairs:      int(real(l[0])),
+				Points:     int(real(l[1])),
+				BCComputes: int(real(l[2])),
+			}
+		}
+	}
+	return nil
+}
+
+// solveShard runs the GF phase for this rank's owned points: electron and
+// phonon RGF solves plus the collision-integral partials, accumulated in
+// global point order so the cross-rank reduction reproduces the sequential
+// summation up to floating-point reassociation.
+func solveShard(ps *negf.PointSolver, hams, dyns map[int]*blocktri.Matrix,
+	pairs, points [][2]int, dos, occ [][]float64) (*partialObs, error) {
+	p := ps.Dev.P
+	part := newPartialObs(p)
+
+	we := p.DE / (2 * math.Pi) / float64(p.Nkz)
+	for _, pr := range pairs {
+		ik, ie := pr[0], pr[1]
+		r, err := ps.SolveElectronPoint(hams[ik], ik, ie)
+		if err != nil {
+			return nil, fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err)
+		}
+		part.currentL += we * r.CurrentL
+		part.currentR += we * r.CurrentR
+		part.energyL += we * r.EnergyL
+		for i := range r.InterfaceCurrent {
+			part.ifaceCur[i] += we * r.InterfaceCurrent[i]
+			part.ifaceEn[i] += we * r.InterfaceEnergy[i]
+		}
+		for i := range r.DissipatedPerSlab {
+			part.diss[i] += we * r.DissipatedPerSlab[i]
+		}
+		part.spectral[ie] += r.CurrentL
+	}
+
+	wp := p.DE / (2 * math.Pi) / float64(p.Nqz())
+	for a := range dos {
+		for m := range dos[a] {
+			dos[a][m], occ[a][m] = 0, 0
+		}
+	}
+	for _, pt := range points {
+		iq, m := pt[0], pt[1]
+		r, err := ps.SolvePhononPoint(dyns[iq], iq, m)
+		if err != nil {
+			return nil, fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err)
+		}
+		omega := p.Omega(m)
+		part.phononEnergyL += wp * omega * r.EnergyContactL
+		for i := range r.InterfaceEnergy {
+			part.phIfaceEn[i] += wp * omega * r.InterfaceEnergy[i]
+		}
+		for a := 0; a < p.Na; a++ {
+			dos[a][m-1] += r.DOS[a] / float64(p.Nqz())
+			occ[a][m-1] += r.Occ[a] / float64(p.Nqz())
+		}
+	}
+
+	part.elLoss = ps.ElectronCollisionSum(pairs)
+	part.phGain = ps.PhononCollisionSum(points)
+	return part, nil
+}
+
+// snapshotBytes reads the world's cumulative sent-byte counter at a
+// globally quiescent point: the first barrier guarantees all prior
+// traffic is counted, the second holds the other ranks back until rank 0
+// has read. Meaningful on rank 0 only.
+func snapshotBytes(c *comm.Comm, w *comm.World) int64 {
+	c.Barrier()
+	var b int64
+	if c.Rank() == 0 {
+		b = w.Stats().BytesSent
+	}
+	c.Barrier()
+	return b
+}

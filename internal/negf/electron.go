@@ -13,15 +13,17 @@ import (
 	"repro/internal/rgf"
 )
 
-// pointResult carries the observables extracted from one (kz, E) solve.
-type pointResult struct {
-	currentL, currentR float64   // Meir-Wingreen contact currents
-	energyL            float64   // contact energy current (left)
-	interfaceCurrent   []float64 // per slab interface
-	interfaceEnergy    []float64
-	dissipatedPerSlab  []float64
-	ie                 int       // energy index of this point
-	ldos               []float64 // −(1/π)·Im tr Gᴿ per slab
+// ElectronPointResult carries the observables extracted from one (kz, E)
+// solve — the per-point contributions a caller (the sequential phase loop
+// or a distributed rank) weighs and accumulates.
+type ElectronPointResult struct {
+	CurrentL, CurrentR float64   // Meir-Wingreen contact currents
+	EnergyL            float64   // contact energy current (left)
+	InterfaceCurrent   []float64 // per slab interface
+	InterfaceEnergy    []float64
+	DissipatedPerSlab  []float64
+	IE                 int       // energy index of this point
+	LDOS               []float64 // −(1/π)·Im tr Gᴿ per slab
 }
 
 // electronPhase solves the electron Green's functions for every (kz, E)
@@ -35,7 +37,7 @@ func (s *Solver) electronPhase() error {
 	}
 
 	npts := p.Nkz * p.NE
-	results := make([]*pointResult, npts)
+	results := make([]*ElectronPointResult, npts)
 	spectral := make([]float64, p.NE)
 	var specMu sync.Mutex
 	var firstErr atomic.Value
@@ -45,14 +47,14 @@ func (s *Solver) electronPhase() error {
 			return
 		}
 		ik, ie := idx/p.NE, idx%p.NE
-		res, jE, err := s.solveElectronPoint(hams[ik], ik, ie)
+		res, err := s.SolveElectronPoint(hams[ik], ik, ie)
 		if err != nil {
 			firstErr.CompareAndSwap(nil, fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
 			return
 		}
 		results[idx] = res
 		specMu.Lock()
-		spectral[ie] += jE
+		spectral[ie] += res.CurrentL
 		specMu.Unlock()
 	})
 	if e := firstErr.Load(); e != nil {
@@ -65,25 +67,27 @@ func (s *Solver) electronPhase() error {
 	copy(obs.SpectralCurrent, spectral)
 	w := p.DE / (2 * 3.141592653589793) / float64(p.Nkz)
 	for _, r := range results {
-		obs.CurrentL += w * r.currentL
-		obs.CurrentR += w * r.currentR
-		obs.EnergyCurrentL += w * r.energyL
-		for i := range r.interfaceCurrent {
-			obs.InterfaceCurrent[i] += w * r.interfaceCurrent[i]
-			obs.InterfaceEnergyCurrent[i] += w * r.interfaceEnergy[i]
+		obs.CurrentL += w * r.CurrentL
+		obs.CurrentR += w * r.CurrentR
+		obs.EnergyCurrentL += w * r.EnergyL
+		for i := range r.InterfaceCurrent {
+			obs.InterfaceCurrent[i] += w * r.InterfaceCurrent[i]
+			obs.InterfaceEnergyCurrent[i] += w * r.InterfaceEnergy[i]
 		}
-		for i := range r.dissipatedPerSlab {
-			obs.DissipatedPower[i] += w * r.dissipatedPerSlab[i]
+		for i := range r.DissipatedPerSlab {
+			obs.DissipatedPower[i] += w * r.DissipatedPerSlab[i]
 		}
-		for i := range r.ldos {
-			obs.LDOS[i][r.ie] += r.ldos[i] / float64(p.Nkz)
+		for i := range r.LDOS {
+			obs.LDOS[i][r.IE] += r.LDOS[i] / float64(p.Nkz)
 		}
 	}
 	return nil
 }
 
-// solveElectronPoint builds and solves one (kz, E) RGF problem.
-func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResult, float64, error) {
+// SolveElectronPoint builds and solves one (kz, E) RGF problem against the
+// current scattering self-energies, filling the G≷ blocks of that point and
+// returning its observable contributions.
+func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*ElectronPointResult, error) {
 	p := s.Dev.P
 	e := p.Energy(ie)
 	z := complex(e, p.Eta)
@@ -105,19 +109,19 @@ func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResul
 	}
 
 	// Open boundaries: semi-infinite periodic extensions of the edge slabs.
-	left, err := s.bcCache.Get(0, ik, ie, func() (*bc.Result, error) {
+	left, err := s.BC.Get(0, ik, ie, func() (*bc.Result, error) {
 		d00 := a.Diag[0].Clone()
 		return bc.SurfaceGF(d00, a.Lower[0], 0, 0)
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("left boundary: %w", err)
+		return nil, fmt.Errorf("left boundary: %w", err)
 	}
-	right, err := s.bcCache.Get(1, ik, ie, func() (*bc.Result, error) {
+	right, err := s.BC.Get(1, ik, ie, func() (*bc.Result, error) {
 		d00 := a.Diag[nb-1].Clone()
 		return bc.SurfaceGF(d00, a.Upper[nb-2], 0, 0)
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("right boundary: %w", err)
+		return nil, fmt.Errorf("right boundary: %w", err)
 	}
 	linalg.AXPY(a.Diag[0], -1, left.SigmaR)
 	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
@@ -161,7 +165,7 @@ func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResul
 
 	sol, err := rgf.Solve(&rgf.Problem{A: a, SigL: sigL, SigG: sigG})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 
 	// Harvest the per-atom diagonal blocks into the G≷ tensors.
@@ -180,33 +184,33 @@ func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResul
 
 	// Observables. Meir-Wingreen contact currents:
 	// I_c(E) = Tr[Σ<_c·G> − Σ>_c·G<] evaluated at the contact slab.
-	res := &pointResult{
-		interfaceCurrent:  make([]float64, nb-1),
-		interfaceEnergy:   make([]float64, nb-1),
-		dissipatedPerSlab: make([]float64, nb),
-		ie:                ie,
-		ldos:              make([]float64, nb),
+	res := &ElectronPointResult{
+		InterfaceCurrent:  make([]float64, nb-1),
+		InterfaceEnergy:   make([]float64, nb-1),
+		DissipatedPerSlab: make([]float64, nb),
+		IE:                ie,
+		LDOS:              make([]float64, nb),
 	}
 	for i := 0; i < nb; i++ {
 		var tr complex128
 		for r := 0; r < bs; r++ {
 			tr += sol.GR[i].At(r, r)
 		}
-		res.ldos[i] = -imag(tr) / 3.141592653589793
+		res.LDOS[i] = -imag(tr) / 3.141592653589793
 	}
 	gammaTermL := contactCurrent(left.Gamma, fL, sol.GL[0], sol.GG[0])
 	gammaTermR := contactCurrent(right.Gamma, fR, sol.GL[nb-1], sol.GG[nb-1])
-	res.currentL = gammaTermL
-	res.currentR = gammaTermR
-	res.energyL = e * gammaTermL
+	res.CurrentL = gammaTermL
+	res.CurrentR = gammaTermR
+	res.EnergyL = e * gammaTermL
 
 	// Interface currents, rightward-positive: in the steady ballistic
 	// state these equal the left-contact injection current.
 	// J_{i→i+1} = 2·Re Tr[H_{i,i+1}·G<_{i+1,i}].
 	for i := 0; i+1 < nb; i++ {
 		j := 2 * realTraceMul(h.Upper[i], sol.GLLower[i])
-		res.interfaceCurrent[i] = j
-		res.interfaceEnergy[i] = e * j
+		res.InterfaceCurrent[i] = j
+		res.InterfaceEnergy[i] = e * j
 	}
 
 	// Local collision integral: energy transferred to the lattice in each
@@ -224,10 +228,10 @@ func (s *Solver) solveElectronPoint(h *blocktri.Matrix, ik, ie int) (*pointResul
 				tr += sL[r*norb+c]*gG - sG[r*norb+c]*gL
 			}
 		}
-		res.dissipatedPerSlab[sl] += e * real(tr)
+		res.DissipatedPerSlab[sl] += e * real(tr)
 	}
 
-	return res, gammaTermL, nil
+	return res, nil
 }
 
 // contactCurrent computes Tr[Σ<_c·G> − Σ>_c·G<] with Σ<_c = i·f·Γ and

@@ -1,8 +1,6 @@
 package negf
 
 import (
-	"math"
-
 	"repro/internal/device"
 )
 
@@ -95,98 +93,48 @@ func (o *Observables) resetPhonon(p device.Params) {
 // conservation between the electron and phonon baths.
 func (s *Solver) finalizeObservables() {
 	p := s.Dev.P
-	we := p.DE / (2 * math.Pi) / float64(p.Nkz)
-	var re float64
-	bl := p.Norb * p.Norb
-	for ik := 0; ik < p.Nkz; ik++ {
-		for ie := 0; ie < p.NE; ie++ {
-			e := p.Energy(ie)
-			for a := 0; a < p.Na; a++ {
-				sl := s.SigL.Block(ik, ie, a)
-				sg := s.SigG.Block(ik, ie, a)
-				gl := s.GL.Block(ik, ie, a)
-				gg := s.GG.Block(ik, ie, a)
-				var tr complex128
-				for x := 0; x < bl; x++ {
-					r, c := x/p.Norb, x%p.Norb
-					tr += sl[r*p.Norb+c]*gg[c*p.Norb+r] - sg[r*p.Norb+c]*gl[c*p.Norb+r]
-				}
-				re += we * e * real(tr)
-			}
-		}
-	}
-	s.Obs.ElectronEnergyLoss = re
-
-	wp := p.DE / (2 * math.Pi) / float64(p.Nqz())
-	var rp float64
-	const n3 = device.N3D
-	for iq := 0; iq < p.Nqz(); iq++ {
-		for m := 1; m <= p.Nomega; m++ {
-			om := p.Omega(m)
-			for a := 0; a < p.Na; a++ {
-				for slot := 0; slot <= len(s.Dev.Neigh[a]); slot++ {
-					// Pair Π_ab with D_ba: the transpose-partner block.
-					var dG, dL []complex128
-					if slot == 0 {
-						dG = s.DG.Block(iq, m-1, a, 0)
-						dL = s.DL.Block(iq, m-1, a, 0)
-					} else {
-						b := s.Dev.Neigh[a][slot-1]
-						back := s.Dev.NeighbourSlot(b, a)
-						dG = s.DG.Block(iq, m-1, b, 1+back)
-						dL = s.DL.Block(iq, m-1, b, 1+back)
-					}
-					pl := s.PiL.Block(iq, m-1, a, slot)
-					pg := s.PiG.Block(iq, m-1, a, slot)
-					var tr complex128
-					for r := 0; r < n3; r++ {
-						for c := 0; c < n3; c++ {
-							tr += pg[r*n3+c]*dL[c*n3+r] - pl[r*n3+c]*dG[c*n3+r]
-						}
-					}
-					// The ½ compensates the pair double-count of this
-					// trace metric relative to the four-block D̃
-					// displacement combination entering Σ (each physical
-					// emission appears in both Π_ab and the Π_aa l-sum).
-					rp += 0.5 * wp * om * real(tr)
-				}
-			}
-		}
-	}
-	s.Obs.PhononEnergyGain = rp
+	s.Obs.ElectronEnergyLoss = s.ElectronCollisionSum(AllPairs(p))
+	s.Obs.PhononEnergyGain = s.PhononCollisionSum(AllPhononPoints(p))
 }
 
 // fitTemperatures extracts the per-atom effective lattice temperature from
-// the non-equilibrium phonon occupations: find T_a such that the
-// Bose-weighted spectral energy matches the observed local energy,
-// Σ_m ω_m·n_B(ω_m, T_a)·dos_a(ω_m) = Σ_m ω_m·occ_a(ω_m).
+// the non-equilibrium phonon occupations.
 func (s *Solver) fitTemperatures(occ [][]float64) {
-	p := s.Dev.P
+	s.Obs.AtomTemperature = FitTemperatures(s.Dev.P, s.phDOS, occ)
+}
+
+// FitTemperatures extracts per-atom effective lattice temperatures from
+// the phonon spectral weight dos_a(ω_m) and observed occupation
+// occ_a(ω_m): find T_a such that the Bose-weighted spectral energy matches
+// the observed local energy,
+// Σ_m ω_m·n_B(ω_m, T_a)·dos_a(ω_m) = Σ_m ω_m·occ_a(ω_m).
+func FitTemperatures(p device.Params, dos, occ [][]float64) []float64 {
+	out := make([]float64, p.Na)
 	for a := 0; a < p.Na; a++ {
 		var target, weight float64
 		for m := 1; m <= p.Nomega; m++ {
 			target += p.Omega(m) * occ[a][m-1]
-			weight += p.Omega(m) * s.phDOS[a][m-1]
+			weight += p.Omega(m) * dos[a][m-1]
 		}
 		if weight <= 0 {
-			s.Obs.AtomTemperature[a] = p.TC
+			out[a] = p.TC
 			continue
 		}
 		energyAt := func(t float64) float64 {
 			var u float64
 			for m := 1; m <= p.Nomega; m++ {
-				u += p.Omega(m) * device.BoseEinstein(p.Omega(m), t) * s.phDOS[a][m-1]
+				u += p.Omega(m) * device.BoseEinstein(p.Omega(m), t) * dos[a][m-1]
 			}
 			return u
 		}
 		// Bisection on T ∈ [1, 5000] K; energyAt is monotone in T.
 		lo, hi := 1.0, 5000.0
 		if target <= energyAt(lo) {
-			s.Obs.AtomTemperature[a] = lo
+			out[a] = lo
 			continue
 		}
 		if target >= energyAt(hi) {
-			s.Obs.AtomTemperature[a] = hi
+			out[a] = hi
 			continue
 		}
 		for it := 0; it < 60; it++ {
@@ -197,8 +145,9 @@ func (s *Solver) fitTemperatures(occ [][]float64) {
 				hi = mid
 			}
 		}
-		s.Obs.AtomTemperature[a] = (lo + hi) / 2
+		out[a] = (lo + hi) / 2
 	}
+	return out
 }
 
 // SlabTemperature averages the atomic temperatures per slab — the

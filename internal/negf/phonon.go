@@ -11,13 +11,13 @@ import (
 	"repro/internal/rgf"
 )
 
-// phononPointResult carries observables from one (qz, ω) solve.
-type phononPointResult struct {
-	energyContactL  float64
-	interfaceEnergy []float64
+// PhononPointResult carries observables from one (qz, ω) solve.
+type PhononPointResult struct {
+	EnergyContactL  float64
+	InterfaceEnergy []float64
 	// Per-atom spectral weight and occupation at this frequency.
-	dos []float64
-	occ []float64
+	DOS []float64
+	Occ []float64
 }
 
 // phononPhase solves the phonon Green's functions for every (qz, ω) point
@@ -30,7 +30,7 @@ func (s *Solver) phononPhase() error {
 	}
 
 	npts := p.Nqz() * p.Nomega
-	results := make([]*phononPointResult, npts)
+	results := make([]*PhononPointResult, npts)
 	omegaOf := make([]int, npts)
 	var firstErr atomic.Value
 
@@ -39,7 +39,7 @@ func (s *Solver) phononPhase() error {
 			return
 		}
 		iq, m := idx/p.Nomega, idx%p.Nomega+1
-		res, err := s.solvePhononPoint(dyns[iq], iq, m)
+		res, err := s.SolvePhononPoint(dyns[iq], iq, m)
 		if err != nil {
 			firstErr.CompareAndSwap(nil, fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
 			return
@@ -73,22 +73,23 @@ func (s *Solver) phononPhase() error {
 	for idx, r := range results {
 		m := omegaOf[idx]
 		omega := p.Omega(m)
-		obs.PhononEnergyCurrentL += w * omega * r.energyContactL
-		for i := range r.interfaceEnergy {
-			obs.PhononInterfaceEnergy[i] += w * omega * r.interfaceEnergy[i]
+		obs.PhononEnergyCurrentL += w * omega * r.EnergyContactL
+		for i := range r.InterfaceEnergy {
+			obs.PhononInterfaceEnergy[i] += w * omega * r.InterfaceEnergy[i]
 		}
 		for a := 0; a < p.Na; a++ {
-			s.phDOS[a][m-1] += r.dos[a] / float64(p.Nqz())
-			occ[a][m-1] += r.occ[a] / float64(p.Nqz())
+			s.phDOS[a][m-1] += r.DOS[a] / float64(p.Nqz())
+			occ[a][m-1] += r.Occ[a] / float64(p.Nqz())
 		}
 	}
 	s.fitTemperatures(occ)
 	return nil
 }
 
-// solvePhononPoint builds and solves one (qz, ω) RGF problem:
-// ((ω+iη)²·I − Φ − Πᴿ)·Dᴿ = I, D≷ = Dᴿ·Π≷·Dᴬ.
-func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPointResult, error) {
+// SolvePhononPoint builds and solves one (qz, ω) RGF problem:
+// ((ω+iη)²·I − Φ − Πᴿ)·Dᴿ = I, D≷ = Dᴿ·Π≷·Dᴬ. It fills the D≷ blocks of
+// that point and returns its observable contributions.
+func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*PhononPointResult, error) {
 	p := s.Dev.P
 	omega := p.Omega(m)
 	z := complex(omega, p.Eta)
@@ -112,13 +113,13 @@ func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPoint
 	// lead blocks (the semi-infinite contacts stay in equilibrium, so the
 	// boundary is independent of the scattering self-energies and can be
 	// cached across iterations, §7.1.2).
-	left, err := s.bcCache.Get(2, iq, m, func() (*bc.Result, error) {
+	left, err := s.BC.Get(2, iq, m, func() (*bc.Result, error) {
 		return bc.SurfaceGF(a.Diag[0].Clone(), a.Lower[0], 0, 0)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("left phonon boundary: %w", err)
 	}
-	right, err := s.bcCache.Get(3, iq, m, func() (*bc.Result, error) {
+	right, err := s.BC.Get(3, iq, m, func() (*bc.Result, error) {
 		return bc.SurfaceGF(a.Diag[nb-1].Clone(), a.Upper[nb-2], 0, 0)
 	})
 	if err != nil {
@@ -177,13 +178,13 @@ func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPoint
 		}
 	}
 
-	res := &phononPointResult{
-		interfaceEnergy: make([]float64, nb-1),
-		dos:             make([]float64, p.Na),
-		occ:             make([]float64, p.Na),
+	res := &PhononPointResult{
+		InterfaceEnergy: make([]float64, nb-1),
+		DOS:             make([]float64, p.Na),
+		Occ:             make([]float64, p.Na),
 	}
 	// Contact heat current (Meir-Wingreen form for phonons).
-	res.energyContactL = phononContactCurrent(left.Gamma, n, sol.GL[0], sol.GG[0])
+	res.EnergyContactL = phononContactCurrent(left.Gamma, n, sol.GL[0], sol.GG[0])
 	// Interface heat flux, rightward-positive. The phonon energy-current
 	// operator on the ω²-axis Green's function carries the opposite sign
 	// to the electron particle-current form (the flux involves the
@@ -191,7 +192,7 @@ func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPoint
 	// JQ_{i→i+1} = −2·Re Tr[Φ_{i,i+1}·D<_{i+1,i}]. Validated by the
 	// outward-from-hot-spot flow in the self-heating tests.
 	for i := 0; i+1 < nb; i++ {
-		res.interfaceEnergy[i] = -2 * realTraceMul(phi.Upper[i], sol.GLLower[i])
+		res.InterfaceEnergy[i] = -2 * realTraceMul(phi.Upper[i], sol.GLLower[i])
 	}
 	// Local spectral weight and occupation for the temperature map:
 	// dos_a = −2·Im tr Dᴿ_aa, occ_a = −Im tr D<_aa = n_eff·dos_a.
@@ -203,14 +204,14 @@ func (s *Solver) solvePhononPoint(phi *blocktri.Matrix, iq, m int) (*phononPoint
 			trR += sol.GR[sa].At(ra+d, ra+d)
 			trL += sol.GL[sa].At(ra+d, ra+d)
 		}
-		res.dos[at] = -2 * imag(trR)
-		res.occ[at] = -imag(trL)
+		res.DOS[at] = -2 * imag(trR)
+		res.Occ[at] = -imag(trL)
 	}
 	return res, nil
 }
 
 // scatterPiRetarded adds Πᴿ_S = (Π> − Π<)/2 blocks into the assembled A.
-func (s *Solver) scatterPiRetarded(a *blocktri.Matrix, iq, m int) {
+func (s *PointSolver) scatterPiRetarded(a *blocktri.Matrix, iq, m int) {
 	p := s.Dev.P
 	rows := p.AtomsPerSlab()
 	const n3 = device.N3D
@@ -246,7 +247,7 @@ func (s *Solver) scatterPiRetarded(a *blocktri.Matrix, iq, m int) {
 // injections. Same-slab neighbour blocks are included; the few cross-slab
 // injection blocks are outside the block-diagonal form the lesser
 // recursion consumes and are dropped (see DESIGN.md §5).
-func (s *Solver) scatterPiInjections(sigL, sigG []*linalg.Matrix, iq, m int) {
+func (s *PointSolver) scatterPiInjections(sigL, sigG []*linalg.Matrix, iq, m int) {
 	p := s.Dev.P
 	rows := p.AtomsPerSlab()
 	const n3 = device.N3D

@@ -13,7 +13,6 @@ import (
 	"repro/internal/bc"
 	"repro/internal/device"
 	"repro/internal/sse"
-	"repro/internal/tensor"
 )
 
 // Options configures a solver run.
@@ -45,24 +44,17 @@ func DefaultOptions() Options {
 	}
 }
 
-// Solver holds the simulation state across iterations.
+// Solver holds the simulation state across iterations. The embedded
+// PointSolver carries the tensors and boundary-condition cache shared with
+// the per-point GF solves.
 type Solver struct {
-	Dev  *device.Device
+	*PointSolver
 	Opts Options
-
-	// Green's function tensors (outputs of the GF phase).
-	GL, GG *tensor.Electron
-	DL, DG *tensor.Phonon
-	// Scattering self-energy tensors (outputs of the SSE phase, inputs to
-	// the next GF phase).
-	SigL, SigG *tensor.Electron
-	PiL, PiG   *tensor.Phonon
 
 	// Per-atom phonon spectral weight A_a(ω) = −2·Im tr Dᴿ_aa, averaged
 	// over qz, used by the temperature extraction.
 	phDOS [][]float64
 
-	bcCache  *bc.Cache
 	anderson *andersonState
 	Obs      Observables
 
@@ -91,20 +83,9 @@ func New(dev *device.Device, opts Options) *Solver {
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 25
 	}
-	p := dev.P
-	nbp1 := dev.MaxNb() + 1
 	return &Solver{
-		Dev:     dev,
-		Opts:    opts,
-		GL:      tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
-		GG:      tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
-		DL:      tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
-		DG:      tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
-		SigL:    tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
-		SigG:    tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb),
-		PiL:     tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
-		PiG:     tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D),
-		bcCache: bc.NewCache(opts.CacheMode),
+		PointSolver: NewPointSolver(dev, opts.CacheMode),
+		Opts:        opts,
 	}
 }
 

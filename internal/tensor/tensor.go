@@ -48,6 +48,13 @@ func (t *Electron) Mat(ik, ie, a int) *linalg.Matrix {
 	return linalg.FromSlice(t.Norb, t.Norb, t.Block(ik, ie, a))
 }
 
+// Plane returns the contiguous all-atom slice of one (kz, E) point — the
+// unit of ownership the distributed decompositions move around.
+func (t *Electron) Plane(ik, ie int) []complex128 {
+	o := t.Index(ik, ie, 0)
+	return t.Data[o : o+t.Na*t.BlockLen()]
+}
+
 // Zero clears the tensor.
 func (t *Electron) Zero() {
 	for i := range t.Data {
@@ -67,10 +74,18 @@ func (t *Electron) Mix(src *Electron, mix float64) {
 	if len(t.Data) != len(src.Data) {
 		panic("tensor: Mix shape mismatch")
 	}
+	MixSlice(t.Data, src.Data, mix)
+}
+
+// MixSlice blends dst := mix·src + (1−mix)·dst elementwise — the one
+// definition of the linear self-consistency mixing, shared by the tensor
+// Mix methods and the distributed solver's per-plane mixing so the two
+// paths stay arithmetically identical.
+func MixSlice(dst, src []complex128, mix float64) {
 	m := complex(mix, 0)
 	om := complex(1-mix, 0)
-	for i, v := range src.Data {
-		t.Data[i] = m*v + om*t.Data[i]
+	for i, v := range src {
+		dst[i] = m*v + om*dst[i]
 	}
 }
 
@@ -127,6 +142,13 @@ func (t *Phonon) Mat(iq, iw, a, slot int) *linalg.Matrix {
 	return linalg.FromSlice(t.N3D, t.N3D, t.Block(iq, iw, a, slot))
 }
 
+// Plane returns the contiguous all-atom slice of one (qz, ω) point
+// (iw is the zero-based frequency index, m−1).
+func (t *Phonon) Plane(iq, iw int) []complex128 {
+	o := t.Index(iq, iw, 0, 0)
+	return t.Data[o : o+t.Na*t.NbP1*t.BlockLen()]
+}
+
 // Zero clears the tensor.
 func (t *Phonon) Zero() {
 	for i := range t.Data {
@@ -146,11 +168,7 @@ func (t *Phonon) Mix(src *Phonon, mix float64) {
 	if len(t.Data) != len(src.Data) {
 		panic("tensor: Mix shape mismatch")
 	}
-	m := complex(mix, 0)
-	om := complex(1-mix, 0)
-	for i, v := range src.Data {
-		t.Data[i] = m*v + om*t.Data[i]
-	}
+	MixSlice(t.Data, src.Data, mix)
 }
 
 // Bytes returns the payload size in bytes.
