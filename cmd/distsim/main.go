@@ -1,28 +1,39 @@
 // Command distsim runs the distributed self-consistent NEGF solver
-// (internal/dist) across a sweep of simulated MPI world sizes and reports,
-// per iteration, the measured communication volume of the SSE exchange
-// next to the analytic prediction of the paper's model
+// (internal/dist) across a sweep of simulated MPI world sizes and
+// reports, per iteration, the measured communication volume of the SSE
+// exchange next to the analytic prediction of the paper's model
 // (internal/model/commvol.go) — the executable form of the scaling story
 // the paper tells for the full GF↔SSE loop.
 //
-// Two sweep modes:
+// Three sweep modes (combine with commas, or use "all"):
 //
-//   - strong: a fixed structure solved on P ∈ {1, 2, 4, 8} ranks; the
+//   - strong:  a fixed structure solved on P ∈ {1, 2, 4, 8} ranks; the
 //     global contact current must be invariant (printed for inspection)
 //     while the per-rank work shrinks.
-//   - weak:   the energy grid grows with P (NE = ne·P), keeping the
+//   - weak:    the energy grid grows with P (NE = ne·P), keeping the
 //     per-rank GF work constant while the exchange volume grows.
+//   - overlap: each world size runs twice — bulk-synchronous phases vs
+//     the overlapped task-graph schedule (internal/sdfg) — and the
+//     measured per-iteration makespans are compared against the
+//     internal/stream copy/compute-overlap prediction built from the
+//     measured compute/communication split.
+//
+// Output formats: -format text (human tables), json, or csv — the
+// machine-readable forms feed scaling-sweep trajectories.
 //
 // Example:
 //
-//	distsim -mode both -na 24 -bnum 4 -norb 2 -ne 16 -nw 4 -iters 3
+//	distsim -mode strong,overlap -na 24 -bnum 4 -norb 2 -ne 16 -nw 4 -iters 3
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,10 +41,46 @@ import (
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/negf"
+	"repro/internal/stream"
 )
 
+// scaleRow is one world size of a strong/weak sweep.
+type scaleRow struct {
+	Sweep         string  `json:"sweep"`
+	P             int     `json:"p"`
+	Ta            int     `json:"ta"`
+	TE            int     `json:"te"`
+	Current       float64 `json:"current"`
+	SSEMeasBytes  int64   `json:"sse_meas_bytes_per_iter"`
+	SSEModelBytes int64   `json:"sse_model_bytes_per_iter"`
+	Ratio         float64 `json:"meas_over_model"`
+	ReduceBytes   int64   `json:"reduce_bytes_per_iter"`
+	WallNs        int64   `json:"wall_ns_per_iter"`
+	RelVsSeq      float64 `json:"rel_vs_sequential"` // -1 when not verified
+}
+
+// overlapRow is one world size of the schedule comparison.
+type overlapRow struct {
+	P              int     `json:"p"`
+	Workers        int     `json:"workers"`
+	PhasesWallNs   int64   `json:"phases_wall_ns_per_iter"`
+	OverlapWallNs  int64   `json:"overlap_wall_ns_per_iter"`
+	Speedup        float64 `json:"speedup"`
+	ComputeNs      int64   `json:"rank0_compute_ns_per_iter"`
+	CommNs         int64   `json:"rank0_comm_ns_per_iter"`
+	StreamPredGain float64 `json:"stream_pred_gain"` // predicted serial/overlapped
+	MaxRelDiff     float64 `json:"max_rel_current_diff"`
+}
+
+type report struct {
+	Strong  []scaleRow   `json:"strong,omitempty"`
+	Weak    []scaleRow   `json:"weak,omitempty"`
+	Overlap []overlapRow `json:"overlap,omitempty"`
+}
+
 func main() {
-	mode := flag.String("mode", "both", "sweep mode: strong, weak, or both")
+	mode := flag.String("mode", "strong,weak", "comma-separated sweep modes: strong, weak, overlap (or all)")
+	format := flag.String("format", "text", "output format: text, json, or csv")
 	na := flag.Int("na", 24, "atoms")
 	bnum := flag.Int("bnum", 4, "slabs")
 	norb := flag.Int("norb", 2, "orbitals per atom")
@@ -42,11 +89,29 @@ func main() {
 	nw := flag.Int("nw", 4, "phonon frequency points")
 	iters := flag.Int("iters", 3, "self-consistent iterations per run")
 	ranks := flag.String("ranks", "1,2,4,8", "comma-separated world sizes")
+	workers := flag.Int("workers", 2, "per-rank worker pool of the overlapped schedule")
 	verify := flag.Bool("verify", true, "check currents against the sequential solver (strong mode)")
 	flag.Parse()
 
-	if *mode != "strong" && *mode != "weak" && *mode != "both" {
-		fmt.Fprintf(os.Stderr, "distsim: unknown mode %q (want strong, weak, or both)\n", *mode)
+	modes := map[string]bool{}
+	for _, m := range strings.Split(*mode, ",") {
+		m = strings.TrimSpace(m)
+		if m == "all" {
+			modes["strong"], modes["weak"], modes["overlap"] = true, true, true
+			continue
+		}
+		if m != "strong" && m != "weak" && m != "overlap" && m != "both" {
+			fmt.Fprintf(os.Stderr, "distsim: unknown mode %q (want strong, weak, overlap, or all)\n", m)
+			os.Exit(1)
+		}
+		if m == "both" { // backwards-compatible alias
+			modes["strong"], modes["weak"] = true, true
+			continue
+		}
+		modes[m] = true
+	}
+	if *format != "text" && *format != "json" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "distsim: unknown format %q (want text, json, or csv)\n", *format)
 		os.Exit(1)
 	}
 	ps, err := parseRanks(*ranks)
@@ -59,24 +124,44 @@ func main() {
 	base.NE = *ne
 	base.Nomega = *nw
 
-	if *mode == "strong" || *mode == "both" {
-		runSweep("strong scaling (fixed structure)", base, ps, *iters, *verify,
+	var rep report
+	text := *format == "text"
+	if modes["strong"] {
+		rep.Strong = runScaleSweep("strong", base, ps, *iters, *verify, text,
 			func(p device.Params, _ int) device.Params { return p })
 	}
-	if *mode == "weak" || *mode == "both" {
-		runSweep("weak scaling (NE grows with P)", base, ps, *iters, false,
+	if modes["weak"] {
+		rep.Weak = runScaleSweep("weak", base, ps, *iters, false, text,
 			func(p device.Params, ranks int) device.Params {
 				p.NE = base.NE * ranks
 				return p
 			})
+	}
+	if modes["overlap"] {
+		rep.Overlap = runOverlapSweep(base, ps, *iters, *workers, text)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "distsim:", err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := writeCSV(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "distsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 
 func parseRanks(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
-		var p int
-		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p <= 0 {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p <= 0 {
 			return nil, fmt.Errorf("distsim: bad rank count %q", f)
 		}
 		out = append(out, p)
@@ -84,73 +169,213 @@ func parseRanks(s string) ([]int, error) {
 	return out, nil
 }
 
-// runSweep executes the distributed loop for every world size and prints
-// the measured-vs-modelled communication table.
-func runSweep(title string, base device.Params, ranks []int, iters int, verify bool,
-	scale func(device.Params, int) device.Params) {
+func runDist(dev *device.Device, opts dist.Options) *dist.Result {
+	res, err := dist.Run(dev, opts)
+	if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+		fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", opts.Ranks, err)
+		os.Exit(1)
+	}
+	return res
+}
 
-	fmt.Printf("── %s ──\n", title)
-	fmt.Printf("   base: Na=%d bnum=%d Norb=%d Nkz=%d NE=%d Nω=%d, %d iterations\n",
-		base.Na, base.Bnum, base.Norb, base.Nkz, base.NE, base.Nomega, iters)
-	fmt.Printf("   %2s  %5s  %14s  %13s  %13s  %6s  %11s  %8s\n",
-		"P", "ta×te", "current", "SSE meas/it", "SSE model/it", "ratio", "reduce/it", "time")
+func buildDevice(p device.Params, ranks int) *device.Device {
+	dev, err := device.Build(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", ranks, err)
+		os.Exit(1)
+	}
+	return dev
+}
 
+// runScaleSweep executes the distributed loop for every world size and
+// returns (and in text mode prints) the measured-vs-modelled rows.
+func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, verify, text bool,
+	scale func(device.Params, int) device.Params) []scaleRow {
+
+	if text {
+		fmt.Printf("── %s scaling ──\n", sweep)
+		fmt.Printf("   base: Na=%d bnum=%d Norb=%d Nkz=%d NE=%d Nω=%d, %d iterations\n",
+			base.Na, base.Bnum, base.Norb, base.Nkz, base.NE, base.Nomega, iters)
+		fmt.Printf("   %2s  %5s  %14s  %13s  %13s  %6s  %11s  %8s\n",
+			"P", "ta×te", "current", "SSE meas/it", "SSE model/it", "ratio", "reduce/it", "time/it")
+	}
+
+	var rows []scaleRow
 	var refCurrent float64
 	haveRef := false
 	var a2aPerIter int64
 	for _, p := range ranks {
 		dp := scale(base, p)
-		dev, err := device.Build(dp)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", p, err)
-			os.Exit(1)
-		}
+		dev := buildDevice(dp, p)
 		opts := dist.DefaultOptions(p)
 		opts.MaxIter = iters
 		opts.Tol = 1e-300 // run all iterations: we are measuring, not converging
-		start := time.Now()
-		res, err := dist.Run(dev, opts)
-		if err != nil && !errors.Is(err, negf.ErrNotConverged) {
-			fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", p, err)
-			os.Exit(1)
-		}
-		elapsed := time.Since(start)
+		res := runDist(dev, opts)
 
-		var sseBytes, reduceBytes int64
+		var sseBytes, reduceBytes, wallNs int64
 		for _, it := range res.IterTrace {
 			sseBytes += it.SSEBytes
 			reduceBytes += it.ReduceBytes
+			wallNs += it.WallNs
 		}
 		n := int64(len(res.IterTrace))
 		a2aPerIter = res.Comm.Collectives["Alltoallv"] / n
 		last := res.IterTrace[len(res.IterTrace)-1]
 		modelled := model.DaCeCommVolume(dev.P, opts.Ta, opts.TE)
-		ratio := float64(sseBytes/n) / modelled
-		fmt.Printf("   %2d  %2d×%-2d  %14.6e  %13s  %13s  %6.3f  %11s  %8s\n",
-			p, opts.Ta, opts.TE, last.Current,
-			fmtBytes(sseBytes/n), fmtBytes(int64(modelled)), ratio,
-			fmtBytes(reduceBytes/n), elapsed.Round(time.Millisecond))
-
+		row := scaleRow{
+			Sweep: sweep, P: p, Ta: opts.Ta, TE: opts.TE,
+			Current:      last.Current,
+			SSEMeasBytes: sseBytes / n, SSEModelBytes: int64(modelled),
+			Ratio:       float64(sseBytes/n) / modelled,
+			ReduceBytes: reduceBytes / n,
+			WallNs:      wallNs / n,
+			RelVsSeq:    -1,
+		}
 		if verify {
 			if !haveRef {
 				refCurrent = sequentialCurrent(dev, iters)
 				haveRef = true
 			}
-			rel := relDiff(last.Current, refCurrent)
-			status := "ok"
-			if rel > 1e-12 {
-				status = "MISMATCH"
+			row.RelVsSeq = relDiff(last.Current, refCurrent)
+		}
+		rows = append(rows, row)
+		if text {
+			fmt.Printf("   %2d  %2d×%-2d  %14.6e  %13s  %13s  %6.3f  %11s  %8s\n",
+				p, opts.Ta, opts.TE, row.Current,
+				fmtBytes(row.SSEMeasBytes), fmtBytes(row.SSEModelBytes), row.Ratio,
+				fmtBytes(row.ReduceBytes), time.Duration(row.WallNs).Round(time.Millisecond))
+			if verify {
+				status := "ok"
+				if row.RelVsSeq > 1e-12 {
+					status = "MISMATCH"
+				}
+				fmt.Printf("       vs sequential: rel %.2e (%s)\n", row.RelVsSeq, status)
 			}
-			fmt.Printf("       vs sequential: rel %.2e (%s)\n", rel, status)
 		}
 	}
-	fmt.Printf("   MPI collectives per iteration: %d Alltoallv measured, %d modelled (§6.1.2)\n",
-		a2aPerIter, model.DaCeMPIInvocations())
-	fmt.Println("   note: the model charges each rank its full tile halo, including the")
-	fmt.Println("   locally owned share; the runtime counts only off-rank bytes, so the")
-	fmt.Println("   measured/modelled ratio rises toward 1 as P grows.")
-	fmt.Println()
+	if text {
+		fmt.Printf("   MPI collectives per iteration: %d Alltoallv measured, %d modelled (§6.1.2)\n",
+			a2aPerIter, model.DaCeMPIInvocations())
+		fmt.Println("   note: the model charges each rank its full tile halo, including the")
+		fmt.Println("   locally owned share; the runtime counts only off-rank bytes, so the")
+		fmt.Println("   measured/modelled ratio rises toward 1 as P grows.")
+		fmt.Println()
+	}
+	return rows
 }
+
+// runOverlapSweep is the schedule A/B experiment: for every world size,
+// run the same workload bulk-synchronously and as an overlapped task
+// graph, compare measured per-iteration makespans, and set the result
+// against the internal/stream prediction derived from the measured
+// compute/communication split.
+func runOverlapSweep(base device.Params, ranks []int, iters, workers int, text bool) []overlapRow {
+	if text {
+		fmt.Printf("── overlap vs phases (workers=%d) ──\n", workers)
+		fmt.Printf("   %2s  %10s  %10s  %7s  %12s  %9s  %9s\n",
+			"P", "phases/it", "overlap/it", "speedup", "stream pred", "comm/comp", "max rel")
+	}
+	var rows []overlapRow
+	for _, p := range ranks {
+		dev := buildDevice(base, p)
+
+		phases := dist.DefaultOptions(p)
+		phases.MaxIter = iters
+		phases.Tol = 1e-300
+		pres := runDist(dev, phases)
+
+		overlap := phases
+		overlap.Schedule = dist.ScheduleOverlap
+		overlap.Workers = workers
+		ores := runDist(dev, overlap)
+
+		var pWall, oWall, compute, comm int64
+		maxRel := 0.0
+		for i := range ores.IterTrace {
+			pWall += pres.IterTrace[i].WallNs
+			oWall += ores.IterTrace[i].WallNs
+			compute += ores.IterTrace[i].ComputeNs
+			comm += ores.IterTrace[i].CommNs
+			if rel := relDiff(ores.IterTrace[i].Current, pres.IterTrace[i].Current); rel > maxRel {
+				maxRel = rel
+			}
+		}
+		n := int64(len(ores.IterTrace))
+		pWall, oWall, compute, comm = pWall/n, oWall/n, compute/n, comm/n
+
+		// Stream-model prediction: rank 0's measured per-iteration compute
+		// spread over its points, with the measured communication share as
+		// the copy fraction; full pipelining bounds the attainable gain.
+		points := ores.Load[0].Pairs + ores.Load[0].Points
+		frac := 0.0
+		if compute > 0 {
+			frac = float64(comm) / float64(compute)
+		}
+		tasks := stream.GFTaskSet(points, float64(compute)/1e9, frac)
+		pred := stream.Makespan(tasks, 1) / stream.Makespan(tasks, 32)
+
+		row := overlapRow{
+			P: p, Workers: workers,
+			PhasesWallNs: pWall, OverlapWallNs: oWall,
+			Speedup:   float64(pWall) / float64(oWall),
+			ComputeNs: compute, CommNs: comm,
+			StreamPredGain: pred,
+			MaxRelDiff:     maxRel,
+		}
+		rows = append(rows, row)
+		if text {
+			fmt.Printf("   %2d  %10s  %10s  %6.3fx  %11.3fx  %9.3f  %9.2e\n",
+				p, time.Duration(pWall).Round(time.Millisecond),
+				time.Duration(oWall).Round(time.Millisecond),
+				row.Speedup, row.StreamPredGain, frac, maxRel)
+		}
+	}
+	if text {
+		fmt.Println("   speedup = phases/overlap makespan; stream pred = §7.1.3 pipelining bound")
+		fmt.Println("   from the measured comm/compute split; max rel = worst per-iteration")
+		fmt.Println("   current difference between the two schedules (must be ~1e-16).")
+		fmt.Println()
+	}
+	return rows
+}
+
+func writeCSV(f *os.File, rep report) error {
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if len(rep.Strong)+len(rep.Weak) > 0 {
+		if err := w.Write([]string{"sweep", "p", "ta", "te", "current",
+			"sse_meas_bytes_per_iter", "sse_model_bytes_per_iter", "meas_over_model",
+			"reduce_bytes_per_iter", "wall_ns_per_iter", "rel_vs_sequential"}); err != nil {
+			return err
+		}
+		for _, r := range append(append([]scaleRow(nil), rep.Strong...), rep.Weak...) {
+			if err := w.Write([]string{r.Sweep, itoa(r.P), itoa(r.Ta), itoa(r.TE),
+				ftoa(r.Current), itoa64(r.SSEMeasBytes), itoa64(r.SSEModelBytes),
+				ftoa(r.Ratio), itoa64(r.ReduceBytes), itoa64(r.WallNs), ftoa(r.RelVsSeq)}); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Overlap) > 0 {
+		if err := w.Write([]string{"p", "workers", "phases_wall_ns_per_iter",
+			"overlap_wall_ns_per_iter", "speedup", "rank0_compute_ns_per_iter",
+			"rank0_comm_ns_per_iter", "stream_pred_gain", "max_rel_current_diff"}); err != nil {
+			return err
+		}
+		for _, r := range rep.Overlap {
+			if err := w.Write([]string{itoa(r.P), itoa(r.Workers), itoa64(r.PhasesWallNs),
+				itoa64(r.OverlapWallNs), ftoa(r.Speedup), itoa64(r.ComputeNs),
+				itoa64(r.CommNs), ftoa(r.StreamPredGain), ftoa(r.MaxRelDiff)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func sequentialCurrent(dev *device.Device, iters int) float64 {
 	opts := negf.DefaultOptions()

@@ -14,6 +14,7 @@ package bc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -103,9 +104,15 @@ func gammaOf(sigma *linalg.Matrix) *linalg.Matrix {
 
 // Cache memoizes boundary results per (contact, momentum, energy/frequency)
 // grid point — the compute/memory trade-off of §7.1.2. Mode selects how
-// much is retained between self-consistent iterations.
+// much is retained between self-consistent iterations. The cache is safe
+// for concurrent use: the parallel GF phase and the task-graph scheduler
+// (internal/sdfg) hit it from many point solves at once. The compute
+// callback runs outside the lock, so distinct points never serialize;
+// concurrent misses of the same key both compute and the last write wins
+// (the result is deterministic, so both are identical).
 type Cache struct {
 	mode    Mode
+	mu      sync.Mutex
 	entries map[key]*Result
 	hits    int
 	misses  int
@@ -141,22 +148,31 @@ func NewCache(mode Mode) *Cache {
 // Get returns the cached boundary result or computes it with compute().
 func (c *Cache) Get(contact, ik, ie int, compute func() (*Result, error)) (*Result, error) {
 	k := key{contact, ik, ie}
+	c.mu.Lock()
 	if c.mode == CacheBC {
 		if r, ok := c.entries[k]; ok {
 			c.hits++
+			c.mu.Unlock()
 			return r, nil
 		}
 	}
 	c.misses++
+	c.mu.Unlock()
 	r, err := compute()
 	if err != nil {
 		return nil, err
 	}
 	if c.mode == CacheBC {
+		c.mu.Lock()
 		c.entries[k] = r
+		c.mu.Unlock()
 	}
 	return r, nil
 }
 
 // Stats reports cache hits and misses (for the Fig. 9 cache-mode study).
-func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

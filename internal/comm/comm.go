@@ -7,6 +7,9 @@
 // The primitives mirror the MPI subset the paper uses: point-to-point
 // Send/Recv, Bcast, Reduce (sum of complex vectors), and Alltoallv — the
 // single collective the communication-avoiding DaCe variant relies on.
+// The nonblocking forms (Isend/Irecv/IAlltoallv/IAllreduce, see
+// nonblocking.go) return waitable requests so the task-graph runtime can
+// overlap collectives with compute.
 package comm
 
 import (
@@ -30,6 +33,7 @@ type World struct {
 	bytesSent   int64
 	sends       int64
 	collectives map[string]int64
+	collBytes   map[string]int64
 }
 
 // mailbox is an unbounded ordered queue of messages per destination,
@@ -55,7 +59,7 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("comm: world size must be positive")
 	}
-	w := &World{size: size, collectives: make(map[string]int64)}
+	w := &World{size: size, collectives: make(map[string]int64), collBytes: make(map[string]int64)}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -92,6 +96,11 @@ type Stats struct {
 	BytesSent   int64
 	Sends       int64            // point-to-point messages
 	Collectives map[string]int64 // invocation counts per collective
+	// CollectiveBytes attributes the off-rank traffic to the operation
+	// that generated it: one entry per collective ("Bcast", "Alltoallv",
+	// "Allreduce", ...) plus "Send" for user point-to-point messages. The
+	// values sum to BytesSent.
+	CollectiveBytes map[string]int64
 }
 
 // Stats returns a snapshot of the world's counters.
@@ -102,7 +111,11 @@ func (w *World) Stats() Stats {
 	for k, v := range w.collectives {
 		cp[k] = v
 	}
-	return Stats{BytesSent: w.bytesSent, Sends: w.sends, Collectives: cp}
+	cb := make(map[string]int64, len(w.collBytes))
+	for k, v := range w.collBytes {
+		cb[k] = v
+	}
+	return Stats{BytesSent: w.bytesSent, Sends: w.sends, Collectives: cp, CollectiveBytes: cb}
 }
 
 // ResetStats clears the counters.
@@ -111,11 +124,13 @@ func (w *World) ResetStats() {
 	defer w.mu.Unlock()
 	w.bytesSent, w.sends = 0, 0
 	w.collectives = make(map[string]int64)
+	w.collBytes = make(map[string]int64)
 }
 
-func (w *World) countBytes(n int64, p2p bool) {
+func (w *World) countBytes(n int64, op string, p2p bool) {
 	w.mu.Lock()
 	w.bytesSent += n
+	w.collBytes[op] += n
 	if p2p {
 		w.sends++
 	}
@@ -143,14 +158,20 @@ func (c *Comm) Size() int { return c.world.size }
 // Send delivers data to rank `to` under `tag`. The payload is copied, so
 // the caller may reuse its buffer. Self-sends are legal (and free).
 func (c *Comm) Send(to, tag int, data []complex128) {
+	c.send(to, tag, data, "Send")
+}
+
+// send is the transfer primitive behind Send and every collective: op
+// names the operation for the per-collective byte accounting.
+// Collective-internal transfers (negative tags) count bytes but not the
+// point-to-point message counter.
+func (c *Comm) send(to, tag int, data []complex128, op string) {
 	if to < 0 || to >= c.world.size {
-		panic(fmt.Sprintf("comm: Send to invalid rank %d", to))
+		panic(fmt.Sprintf("comm: %s to invalid rank %d", op, to))
 	}
 	cp := append([]complex128(nil), data...)
 	if to != c.rank {
-		// Collective-internal transfers (negative tags) count bytes but
-		// not the point-to-point message counter.
-		c.world.countBytes(int64(len(data))*16, tag >= 0)
+		c.world.countBytes(int64(len(data))*16, op, tag >= 0)
 	}
 	box := c.world.boxes[to]
 	box.mu.Lock()
@@ -197,7 +218,7 @@ func (c *Comm) Bcast(root int, data []complex128) []complex128 {
 		c.world.countCollective("Bcast")
 		for r := 0; r < c.world.size; r++ {
 			if r != root {
-				c.Send(r, tagBcast, data)
+				c.send(r, tagBcast, data, "Bcast")
 			}
 		}
 		return data
@@ -209,7 +230,7 @@ func (c *Comm) Bcast(root int, data []complex128) []complex128 {
 // ranks return nil.
 func (c *Comm) Reduce(root int, data []complex128) []complex128 {
 	if c.rank != root {
-		c.Send(root, tagReduce, data)
+		c.send(root, tagReduce, data, "Reduce")
 		return nil
 	}
 	c.world.countCollective("Reduce")
@@ -250,7 +271,7 @@ func (c *Comm) Alltoallv(send [][]complex128) [][]complex128 {
 		c.world.countCollective("Alltoallv")
 	}
 	for r := 0; r < c.world.size; r++ {
-		c.Send(r, tagAlltoall, send[r])
+		c.send(r, tagAlltoall, send[r], "Alltoallv")
 	}
 	recv := make([][]complex128, c.world.size)
 	for r := 0; r < c.world.size; r++ {
@@ -263,7 +284,7 @@ func (c *Comm) Alltoallv(send [][]complex128) [][]complex128 {
 // Non-root ranks return nil.
 func (c *Comm) Gather(root int, data []complex128) [][]complex128 {
 	if c.rank != root {
-		c.Send(root, tagGather, data)
+		c.send(root, tagGather, data, "Gather")
 		return nil
 	}
 	c.world.countCollective("Gather")
@@ -289,7 +310,7 @@ func (c *Comm) Allgather(data []complex128) [][]complex128 {
 		c.world.countCollective("Allgather")
 	}
 	for r := 0; r < c.world.size; r++ {
-		c.Send(r, tagAllgather, data)
+		c.send(r, tagAllgather, data, "Allgather")
 	}
 	out := make([][]complex128, c.world.size)
 	for r := 0; r < c.world.size; r++ {
@@ -306,10 +327,10 @@ func (c *Comm) Barrier() {
 			c.Recv(r, tagBarrier)
 		}
 		for r := 1; r < c.world.size; r++ {
-			c.Send(r, tagBarrier, nil)
+			c.send(r, tagBarrier, nil, "Barrier")
 		}
 		return
 	}
-	c.Send(0, tagBarrier, nil)
+	c.send(0, tagBarrier, nil, "Barrier")
 	c.Recv(0, tagBarrier)
 }

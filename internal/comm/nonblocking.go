@@ -1,0 +1,140 @@
+// Nonblocking primitives: the MPI_I* subset the task-graph runtime
+// (internal/sdfg) schedules around. Posting returns a waitable request
+// immediately; the payload is copied at post time, so the caller may
+// reuse its buffers right away. Each nonblocking collective takes an
+// explicit slot: concurrently outstanding collectives on the same
+// communicator must use distinct slots, and a slot's posts match across
+// ranks by slot — not by call order, which a dynamic scheduler does not
+// preserve. Slots may be reused once the previous operation on them has
+// completed on all ranks (the per-(source, tag) FIFO mailboxes keep even
+// back-to-back reuse ordered).
+package comm
+
+import "fmt"
+
+// maxSlot bounds the nonblocking slot space (tags are mapped into a
+// reserved negative range below the blocking collective tags).
+const maxSlot = 1 << 16
+
+// nbTag maps a (slot, leg) pair into the reserved nonblocking tag space.
+func nbTag(slot, leg int) int {
+	if slot < 0 || slot >= maxSlot {
+		panic(fmt.Sprintf("comm: nonblocking slot %d out of range", slot))
+	}
+	const nbBase = -64 // below the blocking collective tags
+	return nbBase - slot*4 - leg
+}
+
+const (
+	legAlltoall = iota
+	legReduce
+	legBcast
+)
+
+// SendRequest is the handle of an Isend. The simulated runtime buffers
+// unboundedly, so the send completes at post time; Wait exists for
+// MPI-shaped call sites.
+type SendRequest struct{}
+
+// Wait completes the send (a no-op on this runtime).
+func (*SendRequest) Wait() {}
+
+// RecvRequest is the handle of an Irecv.
+type RecvRequest struct{ ch chan []complex128 }
+
+// Wait blocks until the message arrives and returns its payload. Call
+// exactly once.
+func (r *RecvRequest) Wait() []complex128 { return <-r.ch }
+
+// VecRequest is the handle of a vector-valued collective (IAllreduce).
+type VecRequest struct{ ch chan []complex128 }
+
+// Wait blocks until the collective completes and returns the reduced
+// vector. Call exactly once.
+func (r *VecRequest) Wait() []complex128 { return <-r.ch }
+
+// MatRequest is the handle of a per-rank-buffer collective (IAlltoallv).
+type MatRequest struct{ ch chan [][]complex128 }
+
+// Wait blocks until every row has arrived; row r is what rank r sent
+// here. Call exactly once.
+func (r *MatRequest) Wait() [][]complex128 { return <-r.ch }
+
+// Isend posts a send and returns immediately; the payload is copied, so
+// the buffer may be reused. Tags share the user (non-negative) space with
+// blocking Send/Recv, and either Recv or Irecv can complete it.
+func (c *Comm) Isend(to, tag int, data []complex128) *SendRequest {
+	c.send(to, tag, data, "Isend")
+	return &SendRequest{}
+}
+
+// Irecv posts a receive for (from, tag) and returns a waitable request.
+func (c *Comm) Irecv(from, tag int) *RecvRequest {
+	req := &RecvRequest{ch: make(chan []complex128, 1)}
+	go func() { req.ch <- c.Recv(from, tag) }()
+	return req
+}
+
+// IAlltoallv posts the nonblocking form of Alltoallv on the given slot.
+// All sends happen (and are counted) at post time; Wait blocks until
+// every rank's buffer for this rank has arrived. Counted under the same
+// "Alltoallv" collective name as the blocking form — it is the same
+// exchange, only its completion is deferred.
+func (c *Comm) IAlltoallv(slot int, send [][]complex128) *MatRequest {
+	if len(send) != c.world.size {
+		panic("comm: IAlltoallv needs one buffer per rank")
+	}
+	if c.rank == 0 {
+		c.world.countCollective("Alltoallv")
+	}
+	tag := nbTag(slot, legAlltoall)
+	for r := 0; r < c.world.size; r++ {
+		c.send(r, tag, send[r], "Alltoallv")
+	}
+	req := &MatRequest{ch: make(chan [][]complex128, 1)}
+	go func() {
+		recv := make([][]complex128, c.world.size)
+		for r := 0; r < c.world.size; r++ {
+			recv[r] = c.Recv(r, tag)
+		}
+		req.ch <- recv
+	}()
+	return req
+}
+
+// IAllreduce posts a nonblocking elementwise sum over all ranks on the
+// given slot. The reduction sums rank contributions in ascending rank
+// order at rank 0 — the same association order as the blocking
+// Allreduce, so both forms are bitwise interchangeable. Counted as one
+// "Allreduce" collective (the blocking form, composed of Reduce+Bcast,
+// counts as those two instead).
+func (c *Comm) IAllreduce(slot int, data []complex128) *VecRequest {
+	if c.rank == 0 {
+		c.world.countCollective("Allreduce")
+	}
+	cp := append([]complex128(nil), data...)
+	tagR, tagB := nbTag(slot, legReduce), nbTag(slot, legBcast)
+	req := &VecRequest{ch: make(chan []complex128, 1)}
+	if c.rank != 0 {
+		c.send(0, tagR, cp, "Allreduce")
+		go func() { req.ch <- c.Recv(0, tagB) }()
+		return req
+	}
+	go func() {
+		sum := cp
+		for r := 1; r < c.world.size; r++ {
+			part := c.Recv(r, tagR)
+			if len(part) != len(sum) {
+				panic("comm: IAllreduce length mismatch")
+			}
+			for i, v := range part {
+				sum[i] += v
+			}
+		}
+		for r := 1; r < c.world.size; r++ {
+			c.send(r, tagB, sum, "Allreduce")
+		}
+		req.ch <- sum
+	}()
+	return req
+}

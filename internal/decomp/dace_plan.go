@@ -1,0 +1,322 @@
+package decomp
+
+import (
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/sse"
+)
+
+// DaCePlan stages the communication-avoiding SSE phase of one rank into
+// its pack / unpack / compute pieces, so both execution styles share one
+// implementation:
+//
+//   - the blocking ExchangeDaCe drives the stages back-to-back through
+//     Alltoallv, reproducing the bulk-synchronous phase exactly;
+//   - the task-graph runtime (internal/dist with ScheduleOverlap) posts
+//     each pack through comm.IAlltoallv as soon as its inputs exist and
+//     overlaps the waits with unrelated compute.
+//
+// The stage pairs are (#1 G≷, #2 D≷, #3 Σ≷, #4 Π≷) of the Fig. 5 (right)
+// scheme. Pack and unpack orders are identical between the two drivers,
+// so the overlapped execution is bitwise equal to the bulk-synchronous
+// one.
+type DaCePlan struct {
+	l        *DaCeLayout
+	src      *OMENLayout
+	atomSets [][]int
+	in       *sse.Input
+	out      *sse.Output
+
+	rank       int
+	ranks      int
+	myTa, myTe int
+	bl, pbl    int
+
+	offRankBytes atomic.Int64 // post nodes may pack concurrently
+}
+
+// NewDaCePlan builds the plan for one rank of the world. local holds
+// full-shape tensors with the rank's owned electron pairs and phonon
+// points filled (per src); its non-owned halo planes are overwritten by
+// the unpack stages.
+func NewDaCePlan(rank int, l *DaCeLayout, src *OMENLayout, atomSets [][]int, local *sse.Input) *DaCePlan {
+	myTa, myTe := l.TileOf(rank)
+	return &DaCePlan{
+		l: l, src: src, atomSets: atomSets, in: local,
+		rank: rank, ranks: l.P(), myTa: myTa, myTe: myTe,
+		bl:  local.GL.BlockLen(),
+		pbl: local.DL.BlockLen() * local.DL.NbP1,
+	}
+}
+
+// OffRankBytes reports the payload packed for other ranks so far — the
+// measured SSE traffic this rank generates, matching what the comm layer
+// counts when the buffers are posted.
+func (pl *DaCePlan) OffRankBytes() int64 { return pl.offRankBytes.Load() }
+
+// Output returns the tile results (valid after UnpackSigma/UnpackPi).
+func (pl *DaCePlan) Output() *sse.Output { return pl.out }
+
+func (pl *DaCePlan) countOffRank(dst int, buf []complex128) {
+	if dst != pl.rank {
+		pl.offRankBytes.Add(int64(len(buf)) * 16)
+	}
+}
+
+// PackG builds exchange #1: this rank's owned G≷ pairs for every tile's
+// (atom set + halo, energy range + 2Nω halo).
+func (pl *DaCePlan) PackG() [][]complex128 {
+	p := pl.in.Dev.P
+	send := make([][]complex128, pl.ranks)
+	for dst := 0; dst < pl.ranks; dst++ {
+		if dst == pl.rank {
+			continue // own data stays in place
+		}
+		dTa, dTe := pl.l.TileOf(dst)
+		elo, ehi := pl.l.EnergyHalo(dTe)
+		var buf []complex128
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := elo; ie < ehi; ie++ {
+				if pl.src.PairOwner(ik, ie) != pl.rank {
+					continue
+				}
+				for _, a := range pl.atomSets[dTa] {
+					buf = append(buf, pl.in.GL.Block(ik, ie, a)...)
+					buf = append(buf, pl.in.GG.Block(ik, ie, a)...)
+				}
+			}
+		}
+		pl.countOffRank(dst, buf)
+		send[dst] = buf
+	}
+	return send
+}
+
+// UnpackG scatters exchange #1's arrivals into this tile's G≷ halo.
+func (pl *DaCePlan) UnpackG(recv [][]complex128) {
+	p := pl.in.Dev.P
+	elo, ehi := pl.l.EnergyHalo(pl.myTe)
+	for from := 0; from < pl.ranks; from++ {
+		if from == pl.rank {
+			continue // own data never left
+		}
+		buf := recv[from]
+		pos := 0
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := elo; ie < ehi; ie++ {
+				if pl.src.PairOwner(ik, ie) != from {
+					continue
+				}
+				for _, a := range pl.atomSets[pl.myTa] {
+					copy(pl.in.GL.Block(ik, ie, a), buf[pos:pos+pl.bl])
+					copy(pl.in.GG.Block(ik, ie, a), buf[pos+pl.bl:pos+2*pl.bl])
+					pos += 2 * pl.bl
+				}
+			}
+		}
+	}
+}
+
+// PackD builds exchange #2: owned D≷ points for every tile's atom set,
+// all (qz, ω).
+func (pl *DaCePlan) PackD() [][]complex128 {
+	p := pl.in.Dev.P
+	send := make([][]complex128, pl.ranks)
+	for dst := 0; dst < pl.ranks; dst++ {
+		if dst == pl.rank {
+			continue // own data stays in place
+		}
+		dTa, _ := pl.l.TileOf(dst)
+		var buf []complex128
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if pl.src.PhononOwner(iq, m) != pl.rank {
+					continue
+				}
+				for _, a := range pl.atomSets[dTa] {
+					o := pl.in.DL.Index(iq, m-1, a, 0)
+					buf = append(buf, pl.in.DL.Data[o:o+pl.pbl]...)
+					buf = append(buf, pl.in.DG.Data[o:o+pl.pbl]...)
+				}
+			}
+		}
+		pl.countOffRank(dst, buf)
+		send[dst] = buf
+	}
+	return send
+}
+
+// UnpackD scatters exchange #2's arrivals into this tile's D≷ halo.
+func (pl *DaCePlan) UnpackD(recv [][]complex128) {
+	p := pl.in.Dev.P
+	for from := 0; from < pl.ranks; from++ {
+		if from == pl.rank {
+			continue // own data never left
+		}
+		buf := recv[from]
+		pos := 0
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if pl.src.PhononOwner(iq, m) != from {
+					continue
+				}
+				for _, a := range pl.atomSets[pl.myTa] {
+					o := pl.in.DL.Index(iq, m-1, a, 0)
+					copy(pl.in.DL.Data[o:o+pl.pbl], buf[pos:pos+pl.pbl])
+					copy(pl.in.DG.Data[o:o+pl.pbl], buf[pos+pl.pbl:pos+2*pl.pbl])
+					pos += 2 * pl.pbl
+				}
+			}
+		}
+	}
+}
+
+// ComputeTile runs the restricted DaCe kernel on this tile (requires
+// UnpackG and UnpackD).
+func (pl *DaCePlan) ComputeTile() {
+	elo, ehi := pl.l.EnergyRange(pl.myTe)
+	pl.out = (sse.DaCe{Atoms: pl.l.OwnedAtoms(pl.myTa), ELo: elo, EHi: ehi}).Compute(pl.in)
+}
+
+// PackSigma builds exchange #3: the tile's Σ≷ pieces back to the pair
+// owners (requires ComputeTile).
+func (pl *DaCePlan) PackSigma() [][]complex128 {
+	p := pl.in.Dev.P
+	elo, ehi := pl.l.EnergyRange(pl.myTe)
+	owned := pl.l.OwnedAtoms(pl.myTa)
+	send := make([][]complex128, pl.ranks)
+	for dst := 0; dst < pl.ranks; dst++ {
+		if dst == pl.rank {
+			continue // own pieces stay in place
+		}
+		var buf []complex128
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := elo; ie < ehi; ie++ {
+				if pl.src.PairOwner(ik, ie) != dst {
+					continue
+				}
+				for _, a := range owned {
+					buf = append(buf, pl.out.SigL.Block(ik, ie, a)...)
+					buf = append(buf, pl.out.SigG.Block(ik, ie, a)...)
+				}
+			}
+		}
+		pl.countOffRank(dst, buf)
+		send[dst] = buf
+	}
+	return send
+}
+
+// UnpackSigma assembles the owned pairs' Σ≷ from every tile's piece.
+func (pl *DaCePlan) UnpackSigma(recv [][]complex128) {
+	p := pl.in.Dev.P
+	for from := 0; from < pl.ranks; from++ {
+		if from == pl.rank {
+			continue // own pieces never left
+		}
+		fTa, fTe := pl.l.TileOf(from)
+		fLo, fHi := pl.l.EnergyRange(fTe)
+		fOwned := pl.l.OwnedAtoms(fTa)
+		buf := recv[from]
+		pos := 0
+		for ik := 0; ik < p.Nkz; ik++ {
+			for ie := fLo; ie < fHi; ie++ {
+				if pl.src.PairOwner(ik, ie) != pl.rank {
+					continue
+				}
+				for _, a := range fOwned {
+					copy(pl.out.SigL.Block(ik, ie, a), buf[pos:pos+pl.bl])
+					copy(pl.out.SigG.Block(ik, ie, a), buf[pos+pl.bl:pos+2*pl.bl])
+					pos += 2 * pl.bl
+				}
+			}
+		}
+	}
+}
+
+// PackPi builds exchange #4: the tile's Π≷ partials to the phonon point
+// owners (requires ComputeTile).
+func (pl *DaCePlan) PackPi() [][]complex128 {
+	p := pl.in.Dev.P
+	owned := pl.l.OwnedAtoms(pl.myTa)
+	send := make([][]complex128, pl.ranks)
+	for dst := 0; dst < pl.ranks; dst++ {
+		if dst == pl.rank {
+			continue // own partials stay in place
+		}
+		var buf []complex128
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if pl.src.PhononOwner(iq, m) != dst {
+					continue
+				}
+				for _, a := range owned {
+					o := pl.out.PiL.Index(iq, m-1, a, 0)
+					buf = append(buf, pl.out.PiL.Data[o:o+pl.pbl]...)
+					buf = append(buf, pl.out.PiG.Data[o:o+pl.pbl]...)
+				}
+			}
+		}
+		pl.countOffRank(dst, buf)
+		send[dst] = buf
+	}
+	return send
+}
+
+// UnpackPi sums the other tiles' Π≷ partials into the owned points, in
+// ascending tile order — the association order the sequential kernel and
+// the bulk-synchronous exchange both use.
+func (pl *DaCePlan) UnpackPi(recv [][]complex128) {
+	p := pl.in.Dev.P
+	for from := 0; from < pl.ranks; from++ {
+		if from == pl.rank {
+			continue // own partials already in place
+		}
+		fTa, _ := pl.l.TileOf(from)
+		fOwned := pl.l.OwnedAtoms(fTa)
+		buf := recv[from]
+		pos := 0
+		for iq := 0; iq < p.Nqz(); iq++ {
+			for m := 1; m <= p.Nomega; m++ {
+				if pl.src.PhononOwner(iq, m) != pl.rank {
+					continue
+				}
+				for _, a := range fOwned {
+					o := pl.out.PiL.Index(iq, m-1, a, 0)
+					addInto(pl.out.PiL.Data[o:o+pl.pbl], buf[pos:pos+pl.pbl])
+					addInto(pl.out.PiG.Data[o:o+pl.pbl], buf[pos+pl.pbl:pos+2*pl.pbl])
+					pos += 2 * pl.pbl
+				}
+			}
+		}
+	}
+}
+
+// Nonblocking slots for the four exchanges plus the observable reduction
+// of the distributed loop — one slot per concurrently outstanding
+// collective (see comm: slots match across ranks regardless of the order
+// a dynamic schedule posts them in).
+const (
+	SlotG = iota
+	SlotD
+	SlotSigma
+	SlotPi
+	SlotObs
+)
+
+// PostG posts exchange #1 as soon as the owned G≷ pairs exist.
+func (pl *DaCePlan) PostG(c *comm.Comm) *comm.MatRequest { return c.IAlltoallv(SlotG, pl.PackG()) }
+
+// PostD posts exchange #2 as soon as the owned D≷ points exist.
+func (pl *DaCePlan) PostD(c *comm.Comm) *comm.MatRequest { return c.IAlltoallv(SlotD, pl.PackD()) }
+
+// PostSigma posts exchange #3 after ComputeTile.
+func (pl *DaCePlan) PostSigma(c *comm.Comm) *comm.MatRequest {
+	return c.IAlltoallv(SlotSigma, pl.PackSigma())
+}
+
+// PostPi posts exchange #4 after ComputeTile.
+func (pl *DaCePlan) PostPi(c *comm.Comm) *comm.MatRequest {
+	return c.IAlltoallv(SlotPi, pl.PackPi())
+}

@@ -30,179 +30,19 @@ func (l *DaCeLayout) AtomSets() [][]int {
 // owned pairs and fully-summed Π≷ for the owned points — the distribution
 // the next GF phase consumes. The union over ranks reproduces the
 // sequential kernel exactly.
+//
+// This is the bulk-synchronous driver of a DaCePlan: each stage packs,
+// exchanges, and unpacks back-to-back. The overlapped driver
+// (internal/dist's task-graph schedule) runs the same stages through the
+// nonblocking collectives instead.
 func ExchangeDaCe(c *comm.Comm, l *DaCeLayout, src *OMENLayout, atomSets [][]int, local *sse.Input) *sse.Output {
-	p := local.Dev.P
-	ranks := l.P()
-	r := c.Rank()
-	myTa, myTe := l.TileOf(r)
-	bl := local.GL.BlockLen()
-	pbl := local.DL.BlockLen() * local.DL.NbP1
-
-	// ── Alltoallv #1: G≷ to the tiles.
-	send := make([][]complex128, ranks)
-	for dst := 0; dst < ranks; dst++ {
-		dTa, dTe := l.TileOf(dst)
-		elo, ehi := l.EnergyHalo(dTe)
-		var buf []complex128
-		for ik := 0; ik < p.Nkz; ik++ {
-			for ie := elo; ie < ehi; ie++ {
-				if src.PairOwner(ik, ie) != r {
-					continue
-				}
-				for _, a := range atomSets[dTa] {
-					buf = append(buf, local.GL.Block(ik, ie, a)...)
-					buf = append(buf, local.GG.Block(ik, ie, a)...)
-				}
-			}
-		}
-		send[dst] = buf
-	}
-	recv := c.Alltoallv(send)
-	{
-		elo, ehi := l.EnergyHalo(myTe)
-		for from := 0; from < ranks; from++ {
-			buf := recv[from]
-			pos := 0
-			for ik := 0; ik < p.Nkz; ik++ {
-				for ie := elo; ie < ehi; ie++ {
-					if src.PairOwner(ik, ie) != from {
-						continue
-					}
-					for _, a := range atomSets[myTa] {
-						copy(local.GL.Block(ik, ie, a), buf[pos:pos+bl])
-						copy(local.GG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
-						pos += 2 * bl
-					}
-				}
-			}
-		}
-	}
-
-	// ── Alltoallv #2: D≷ to the tiles (all phonon points, atom set).
-	send = make([][]complex128, ranks)
-	for dst := 0; dst < ranks; dst++ {
-		dTa, _ := l.TileOf(dst)
-		var buf []complex128
-		for iq := 0; iq < p.Nqz(); iq++ {
-			for m := 1; m <= p.Nomega; m++ {
-				if src.PhononOwner(iq, m) != r {
-					continue
-				}
-				for _, a := range atomSets[dTa] {
-					o := local.DL.Index(iq, m-1, a, 0)
-					buf = append(buf, local.DL.Data[o:o+pbl]...)
-					buf = append(buf, local.DG.Data[o:o+pbl]...)
-				}
-			}
-		}
-		send[dst] = buf
-	}
-	recv = c.Alltoallv(send)
-	for from := 0; from < ranks; from++ {
-		buf := recv[from]
-		pos := 0
-		for iq := 0; iq < p.Nqz(); iq++ {
-			for m := 1; m <= p.Nomega; m++ {
-				if src.PhononOwner(iq, m) != from {
-					continue
-				}
-				for _, a := range atomSets[myTa] {
-					o := local.DL.Index(iq, m-1, a, 0)
-					copy(local.DL.Data[o:o+pbl], buf[pos:pos+pbl])
-					copy(local.DG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
-					pos += 2 * pbl
-				}
-			}
-		}
-	}
-
-	// ── Local tile computation with the restricted DaCe kernel.
-	elo, ehi := l.EnergyRange(myTe)
-	out := (sse.DaCe{Atoms: l.OwnedAtoms(myTa), ELo: elo, EHi: ehi}).Compute(local)
-
-	// ── Alltoallv #3: Σ≷ back to the pair owners.
-	send = make([][]complex128, ranks)
-	owned := l.OwnedAtoms(myTa)
-	for dst := 0; dst < ranks; dst++ {
-		var buf []complex128
-		for ik := 0; ik < p.Nkz; ik++ {
-			for ie := elo; ie < ehi; ie++ {
-				if src.PairOwner(ik, ie) != dst {
-					continue
-				}
-				for _, a := range owned {
-					buf = append(buf, out.SigL.Block(ik, ie, a)...)
-					buf = append(buf, out.SigG.Block(ik, ie, a)...)
-				}
-			}
-		}
-		send[dst] = buf
-	}
-	recv = c.Alltoallv(send)
-	for from := 0; from < ranks; from++ {
-		fTa, fTe := l.TileOf(from)
-		fLo, fHi := l.EnergyRange(fTe)
-		fOwned := l.OwnedAtoms(fTa)
-		buf := recv[from]
-		pos := 0
-		for ik := 0; ik < p.Nkz; ik++ {
-			for ie := fLo; ie < fHi; ie++ {
-				if src.PairOwner(ik, ie) != r {
-					continue
-				}
-				for _, a := range fOwned {
-					copy(out.SigL.Block(ik, ie, a), buf[pos:pos+bl])
-					copy(out.SigG.Block(ik, ie, a), buf[pos+bl:pos+2*bl])
-					pos += 2 * bl
-				}
-			}
-		}
-	}
-
-	// ── Alltoallv #4: Π≷ partials to the phonon owners, summed there
-	// over the TE energy tiles.
-	send = make([][]complex128, ranks)
-	for dst := 0; dst < ranks; dst++ {
-		var buf []complex128
-		for iq := 0; iq < p.Nqz(); iq++ {
-			for m := 1; m <= p.Nomega; m++ {
-				if src.PhononOwner(iq, m) != dst {
-					continue
-				}
-				for _, a := range owned {
-					o := out.PiL.Index(iq, m-1, a, 0)
-					buf = append(buf, out.PiL.Data[o:o+pbl]...)
-					buf = append(buf, out.PiG.Data[o:o+pbl]...)
-				}
-			}
-		}
-		send[dst] = buf
-	}
-	recv = c.Alltoallv(send)
-	for from := 0; from < ranks; from++ {
-		if from == r {
-			continue // own partials already in place
-		}
-		fTa, _ := l.TileOf(from)
-		fOwned := l.OwnedAtoms(fTa)
-		buf := recv[from]
-		pos := 0
-		for iq := 0; iq < p.Nqz(); iq++ {
-			for m := 1; m <= p.Nomega; m++ {
-				if src.PhononOwner(iq, m) != r {
-					continue
-				}
-				for _, a := range fOwned {
-					o := out.PiL.Index(iq, m-1, a, 0)
-					addInto(out.PiL.Data[o:o+pbl], buf[pos:pos+pbl])
-					addInto(out.PiG.Data[o:o+pbl], buf[pos+pbl:pos+2*pbl])
-					pos += 2 * pbl
-				}
-			}
-		}
-	}
-
-	return out
+	pl := NewDaCePlan(c.Rank(), l, src, atomSets, local)
+	pl.UnpackG(c.Alltoallv(pl.PackG()))
+	pl.UnpackD(c.Alltoallv(pl.PackD()))
+	pl.ComputeTile()
+	pl.UnpackSigma(c.Alltoallv(pl.PackSigma()))
+	pl.UnpackPi(c.Alltoallv(pl.PackPi()))
+	return pl.Output()
 }
 
 // RunDaCe executes the SSE phase under the communication-avoiding Ta×TE

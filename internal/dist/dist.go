@@ -32,6 +32,30 @@ import (
 	"repro/internal/sse"
 )
 
+// Schedule selects how each self-consistent iteration executes.
+type Schedule int
+
+const (
+	// SchedulePhases is the bulk-synchronous baseline: the GF phase, a
+	// failure-agreement barrier, the blocking SSE exchange, and the
+	// observable reduction run strictly one after another.
+	SchedulePhases Schedule = iota
+	// ScheduleOverlap runs the iteration as a dataflow graph on a
+	// work-stealing pool (internal/sdfg): per-point BC and RGF solves,
+	// collision partials, the four SSE exchanges as nonblocking
+	// collectives posted as soon as this rank's own points finish, the
+	// tile kernel, and the observable reduction — the paper's data-centric
+	// execution model, numerically identical to SchedulePhases.
+	ScheduleOverlap
+)
+
+func (s Schedule) String() string {
+	if s == ScheduleOverlap {
+		return "overlap"
+	}
+	return "phases"
+}
+
 // Options configures a distributed run.
 type Options struct {
 	// Ranks is the simulated world size P.
@@ -51,6 +75,13 @@ type Options struct {
 	MaxIter int
 	// Tol is the relative change of the contact current at convergence.
 	Tol float64
+	// Schedule selects bulk-synchronous phases (default) or the
+	// overlapped task-graph execution.
+	Schedule Schedule
+	// Workers is the per-rank worker-pool size of ScheduleOverlap
+	// (default 2: one worker can block in a collective wait while the
+	// other computes). Ignored by SchedulePhases.
+	Workers int
 }
 
 // DefaultOptions returns the distributed counterpart of
@@ -92,6 +123,12 @@ func (o Options) normalize() (Options, error) {
 	if o.Tol <= 0 {
 		o.Tol = 1e-5
 	}
+	if o.Schedule != SchedulePhases && o.Schedule != ScheduleOverlap {
+		return o, fmt.Errorf("dist: unknown schedule %d", o.Schedule)
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
 	return o, nil
 }
 
@@ -109,6 +146,15 @@ type IterStats struct {
 	// iteration; ReduceBytes is the observable/convergence Allreduce.
 	SSEBytes    int64
 	ReduceBytes int64
+	// WallNs is rank 0's measured wall time of this iteration — the
+	// per-iteration makespan the overlap benchmark compares across
+	// schedules.
+	WallNs int64
+	// ComputeNs and CommNs split rank 0's summed task durations by node
+	// kind under ScheduleOverlap (zero under SchedulePhases) — the
+	// measured compute/communication split cmd/distsim feeds into the
+	// internal/stream overlap prediction.
+	ComputeNs, CommNs int64
 }
 
 // RankLoad reports one rank's share of the work — the load-balance view
@@ -147,7 +193,10 @@ func Run(dev *device.Device, opts Options) (*Result, error) {
 	w := comm.NewWorld(opts.Ranks)
 	res := &Result{}
 	if err := w.Run(func(c *comm.Comm) error {
-		return runRank(c, w, dev, opts, res)
+		if opts.Schedule == ScheduleOverlap {
+			return runRankOverlap(c, dev, opts, res)
+		}
+		return runRank(c, dev, opts, res)
 	}); err != nil {
 		return nil, err
 	}

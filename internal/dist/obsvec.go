@@ -20,6 +20,16 @@ type partialObs struct {
 	diss               []float64
 	spectral           []float64
 	sse                sse.Stats
+	// flag is the failure-agreement bit of the overlapped schedule: the
+	// reduced value is nonzero iff any rank's GF solves errored this
+	// iteration. The bulk-synchronous path agrees through a dedicated
+	// Allreduce instead and leaves it zero.
+	flag float64
+	// sseB/redB carry each rank's measured off-rank SSE exchange and
+	// reduction bytes, so the overlapped schedule gets per-iteration
+	// traffic totals without the barriers the phase path's counter
+	// snapshots need. Zero on the phase path.
+	sseB, redB float64
 }
 
 func newPartialObs(p device.Params) *partialObs {
@@ -33,10 +43,10 @@ func newPartialObs(p device.Params) *partialObs {
 }
 
 // vecLen is the packed length: 6 scalars, three (Bnum−1) profiles, the
-// Bnum dissipation profile, the NE spectral current, and 4 kernel
-// counters.
+// Bnum dissipation profile, the NE spectral current, 4 kernel counters,
+// and the 3 control fields (failure flag + byte counters).
 func vecLen(p device.Params) int {
-	return 6 + 3*(p.Bnum-1) + p.Bnum + p.NE + 4
+	return 6 + 3*(p.Bnum-1) + p.Bnum + p.NE + 4 + 3
 }
 
 // pack serializes the partial into the real parts of a complex vector,
@@ -57,6 +67,7 @@ func (po *partialObs) pack() []complex128 {
 	put(po.spectral...)
 	put(float64(po.sse.MatMuls), float64(po.sse.Flops),
 		float64(po.sse.ScalarOps), float64(po.sse.BytesMoved))
+	put(po.flag, po.sseB, po.redB)
 	return out
 }
 
@@ -86,6 +97,7 @@ func unpackObs(v []complex128, p device.Params) *partialObs {
 		MatMuls: int64(get()), Flops: int64(get()),
 		ScalarOps: int64(get()), BytesMoved: int64(get()),
 	}
+	po.flag, po.sseB, po.redB = get(), get(), get()
 	return po
 }
 

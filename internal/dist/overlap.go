@@ -1,0 +1,348 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bc"
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sdfg"
+)
+
+// runRankOverlap is one rank's life under ScheduleOverlap: every
+// iteration becomes a dataflow graph executed on a work-stealing pool,
+// with the SSE exchanges posted as nonblocking collectives the moment
+// this rank's own points finish — no global GF barrier. The arithmetic
+// (accumulation order, mixing, reduction association) is identical to
+// SchedulePhases, so the per-iteration currents match bitwise; only the
+// schedule differs.
+func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result) error {
+	rs := newRankState(c, dev, opts)
+	r := c.Rank()
+	ex := sdfg.NewExecutor(opts.Workers)
+	elRes := make([]*negf.ElectronPointResult, len(rs.pairs))
+	phRes := make([]*negf.PhononPointResult, len(rs.points))
+
+	var global *partialObs
+	prev := math.NaN()
+	converged := false
+	for it := 0; it < opts.MaxIter; it++ {
+		// Graph construction is part of the overlapped schedule's
+		// per-iteration cost: keep it inside the timed window so the
+		// phases-vs-overlap makespan comparison stays fair.
+		iterStart := time.Now()
+		st := &iterRun{}
+		g := rs.buildIterationGraph(opts, st, elRes, phRes)
+		tr, err := ex.Run(g)
+		if err != nil {
+			return fmt.Errorf("dist: iteration %d: %w", it, err)
+		}
+		wall := time.Since(iterStart)
+
+		// Failure agreement rode along in the observable reduction: every
+		// rank participated in every collective regardless, so nobody is
+		// left blocking; now the failing rank(s) report and the healthy
+		// ranks exit cleanly, exactly like the phase path's dedicated
+		// flag Allreduce.
+		global = st.global
+		if global.flag != 0 {
+			if st.err != nil {
+				return fmt.Errorf("dist: iteration %d: %w", it, st.err)
+			}
+			return nil
+		}
+
+		cur := global.currentL
+		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
+		if r == 0 {
+			res.IterTrace = append(res.IterTrace, IterStats{
+				Iter: it, Current: cur, RelChange: rel,
+				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
+				SSE:      global.sse,
+				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
+				WallNs:    wall.Nanoseconds(),
+				ComputeNs: tr.Busy(g, sdfg.Compute).Nanoseconds(),
+				CommNs:    tr.Busy(g, sdfg.Comm).Nanoseconds(),
+			})
+		}
+		if it > 0 && rel < opts.Tol {
+			converged = true
+			break
+		}
+		prev = cur
+	}
+
+	rs.epilogue(opts, res, converged, global)
+	return nil
+}
+
+// iterRun is the mutable state one iteration's graph threads through its
+// nodes. Fields are written by exactly one node each (or guarded by mu),
+// and the executor's scheduling lock orders every write before the nodes
+// that consume it.
+type iterRun struct {
+	mu  sync.Mutex
+	err error // first failed point solve of this rank
+
+	part *partialObs
+	plan *decomp.DaCePlan
+
+	reqG, reqD, reqSig, reqPi *comm.MatRequest
+	reqObs                    *comm.VecRequest
+	global                    *partialObs
+}
+
+func (st *iterRun) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+func (st *iterRun) failed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err != nil
+}
+
+// buildIterationGraph lays out one self-consistent iteration as the
+// paper's dataflow graph. Node kinds follow §4's SDFG: per-point boundary
+// solves and RGF solves, collision partials, the four SSE tile exchanges,
+// the tile kernel, mixing, and the observable reduction.
+//
+// Collective discipline: a failing node records its error and the graph
+// still drains, so every rank posts every collective every iteration —
+// failure is agreed in the reduction, never by abandoning a peer. The
+// wait nodes of each exchange stage additionally depend on both of the
+// stage's posts: a wait may only block a worker once this rank has
+// posted everything its peers need to reach the same stage, which makes
+// the schedule deadlock-free for any pool size, including Workers=1.
+func (rs *rankState) buildIterationGraph(opts Options, st *iterRun, elRes []*negf.ElectronPointResult, phRes []*negf.PhononPointResult) *sdfg.Graph {
+	p := rs.dev.P
+	c := rs.c
+	st.part = newPartialObs(p)
+	st.plan = decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in)
+
+	g := sdfg.New()
+
+	// ── Phase 0: GF solves for the owned shard, one (BC → RGF) chain per
+	// point. The boundary depends only on (momentum, energy), so with a
+	// warm cache the BC node is a hit and the split costs nothing; on the
+	// first iteration it exposes the §7.1.2 boundary kernel as its own
+	// schedulable unit.
+	elDone := make([]sdfg.NodeID, len(rs.pairs))
+	for i, pr := range rs.pairs {
+		i, ik, ie := i, pr[0], pr[1]
+		var deps []sdfg.NodeID
+		if opts.CacheMode == bc.CacheBC {
+			bcN := g.Add(sdfg.Spec{
+				Label: fmt.Sprintf("bc/el/%d,%d", ik, ie), Phase: 0,
+				Run: func() error {
+					if st.failed() {
+						return nil
+					}
+					if err := rs.ps.PrepareElectronBC(rs.hams[ik], ik, ie); err != nil {
+						st.fail(fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
+					}
+					return nil
+				},
+			})
+			deps = append(deps, bcN)
+		}
+		elDone[i] = g.Add(sdfg.Spec{
+			Label: fmt.Sprintf("rgf/el/%d,%d", ik, ie), Phase: 0,
+			Run: func() error {
+				if st.failed() {
+					return nil
+				}
+				r, err := rs.ps.SolveElectronPoint(rs.hams[ik], ik, ie)
+				if err != nil {
+					st.fail(fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
+					return nil
+				}
+				elRes[i] = r
+				return nil
+			},
+		}, deps...)
+	}
+	phDone := make([]sdfg.NodeID, len(rs.points))
+	for j, pt := range rs.points {
+		j, iq, m := j, pt[0], pt[1]
+		var deps []sdfg.NodeID
+		if opts.CacheMode == bc.CacheBC {
+			bcN := g.Add(sdfg.Spec{
+				Label: fmt.Sprintf("bc/ph/%d,%d", iq, m), Phase: 0,
+				Run: func() error {
+					if st.failed() {
+						return nil
+					}
+					if err := rs.ps.PreparePhononBC(rs.dyns[iq], iq, m); err != nil {
+						st.fail(fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
+					}
+					return nil
+				},
+			})
+			deps = append(deps, bcN)
+		}
+		phDone[j] = g.Add(sdfg.Spec{
+			Label: fmt.Sprintf("rgf/ph/%d,%d", iq, m), Phase: 0,
+			Run: func() error {
+				if st.failed() {
+					return nil
+				}
+				r, err := rs.ps.SolvePhononPoint(rs.dyns[iq], iq, m)
+				if err != nil {
+					st.fail(fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
+					return nil
+				}
+				phRes[j] = r
+				return nil
+			},
+		}, deps...)
+	}
+
+	// Deterministic accumulation: the point solves land in slots, and one
+	// node folds them in global point order — the identical association
+	// the sequential reduction uses, independent of scheduling.
+	elAccum := g.Add(sdfg.Spec{
+		Label: "accum/el", Phase: 0,
+		Run: func() error {
+			if st.failed() {
+				return nil // slots may hold stale results; the iteration is discarded
+			}
+			for i, pr := range rs.pairs {
+				st.part.addElectron(p, pr[1], elRes[i])
+			}
+			return nil
+		},
+	}, elDone...)
+	phAccum := g.Add(sdfg.Spec{
+		Label: "accum/ph", Phase: 0,
+		Run: func() error {
+			if st.failed() {
+				return nil
+			}
+			for a := range rs.dos {
+				for m := range rs.dos[a] {
+					rs.dos[a][m], rs.occ[a][m] = 0, 0
+				}
+			}
+			for j, pt := range rs.points {
+				st.part.addPhonon(p, pt[1], phRes[j], rs.dos, rs.occ)
+			}
+			return nil
+		},
+	}, phDone...)
+
+	// Collision partials: need the fresh G≷/D≷ and the pre-mix Σ≷/Π≷, so
+	// they must precede the mixing nodes — in the dataflow schedule they
+	// overlap the exchange waits instead of padding the GF phase.
+	elLoss := g.Add(sdfg.Spec{
+		Label: "collision/el", Phase: 0,
+		Run: func() error {
+			st.part.elLoss = rs.ps.ElectronCollisionSum(rs.pairs)
+			return nil
+		},
+	}, elDone...)
+	phGain := g.Add(sdfg.Spec{
+		Label: "collision/ph", Phase: 0,
+		Run: func() error {
+			st.part.phGain = rs.ps.PhononCollisionSum(rs.points)
+			return nil
+		},
+	}, phDone...)
+
+	// ── Phase 1: the four-exchange SSE. Posts fire as soon as this
+	// rank's own inputs exist — G≷ can be in flight while phonon points
+	// still compute, the §7.1.3 overlap.
+	postG := g.Add(sdfg.Spec{
+		Label: "post/G", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.reqG = st.plan.PostG(c); return nil },
+	}, elDone...)
+	postD := g.Add(sdfg.Spec{
+		Label: "post/D", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.reqD = st.plan.PostD(c); return nil },
+	}, phDone...)
+	waitG := g.Add(sdfg.Spec{
+		Label: "wait/G", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.plan.UnpackG(st.reqG.Wait()); return nil },
+	}, postG, postD)
+	waitD := g.Add(sdfg.Spec{
+		Label: "wait/D", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.plan.UnpackD(st.reqD.Wait()); return nil },
+	}, postD, postG)
+	tile := g.Add(sdfg.Spec{
+		Label: "sse/tile", Phase: 1,
+		Run: func() error {
+			st.plan.ComputeTile()
+			st.part.sse = st.plan.Output().Stats
+			return nil
+		},
+	}, waitG, waitD)
+	postSig := g.Add(sdfg.Spec{
+		Label: "post/Sigma", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.reqSig = st.plan.PostSigma(c); return nil },
+	}, tile)
+	postPi := g.Add(sdfg.Spec{
+		Label: "post/Pi", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.reqPi = st.plan.PostPi(c); return nil },
+	}, tile)
+	waitSig := g.Add(sdfg.Spec{
+		Label: "wait/Sigma", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.plan.UnpackSigma(st.reqSig.Wait()); return nil },
+	}, postSig, postPi)
+	waitPi := g.Add(sdfg.Spec{
+		Label: "wait/Pi", Kind: sdfg.Comm, Phase: 1,
+		Run: func() error { st.plan.UnpackPi(st.reqPi.Wait()); return nil },
+	}, postPi, postSig)
+	g.Add(sdfg.Spec{
+		Label: "mix/Sigma", Phase: 1,
+		Run: func() error { rs.mixSigma(st.plan.Output(), opts.Mixing); return nil },
+	}, waitSig, elLoss)
+	g.Add(sdfg.Spec{
+		Label: "mix/Pi", Phase: 1,
+		Run: func() error { rs.mixPi(st.plan.Output(), opts.Mixing); return nil },
+	}, waitPi, phGain)
+
+	// ── Phase 2: observable reduction, overlapping the Σ/Π waits. The
+	// post depends on the Σ/Π posts only, so the plan's off-rank byte
+	// counter already covers all four exchanges of this iteration.
+	obsPost := g.Add(sdfg.Spec{
+		Label: "post/obs", Kind: sdfg.Comm, Phase: 2,
+		Run: func() error {
+			if st.failed() {
+				st.part.flag = 1
+			}
+			st.part.sseB = float64(st.plan.OffRankBytes())
+			st.part.redB = reduceShare(c, vecLen(p))
+			st.reqObs = c.IAllreduce(decomp.SlotObs, st.part.pack())
+			return nil
+		},
+	}, elAccum, phAccum, elLoss, phGain, tile, postSig, postPi)
+	g.Add(sdfg.Spec{
+		Label: "wait/obs", Kind: sdfg.Comm, Phase: 2,
+		Run: func() error { st.global = unpackObs(st.reqObs.Wait(), p); return nil },
+	}, obsPost)
+
+	return g
+}
+
+// reduceShare is the off-rank traffic this rank contributes to one
+// IAllreduce of n complex values: non-root ranks send their contribution
+// to rank 0, rank 0 broadcasts the sum to everyone else. Summed over
+// ranks this equals what the comm layer measures.
+func reduceShare(c *comm.Comm, n int) float64 {
+	if c.Size() == 1 {
+		return 0
+	}
+	if c.Rank() == 0 {
+		return float64((c.Size() - 1) * n * 16)
+	}
+	return float64(n * 16)
+}

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/negf"
+)
+
+// The overlap benchmark pair: the same imbalanced workload (point counts
+// not divisible by the world size, so ranks finish their GF shards at
+// different times) through both schedules. Compare with
+//
+//	go test ./internal/dist -bench 'Schedule' -benchtime 3x
+//
+// The overlapped schedule's makespan must come in below the phase-barrier
+// one: the fast ranks' exchange posts and collision partials hide behind
+// the slow ranks' remaining solves instead of idling at the barrier, and
+// the worker pool exploits the per-rank point parallelism the graph
+// exposes. cmd/distsim -mode overlap prints the same comparison next to
+// the internal/stream prediction.
+func benchDevice(b *testing.B) *device.Device {
+	b.Helper()
+	p := device.TestParams(12, 3, 2)
+	p.Nkz = 3
+	p.NE = 14 // 42 pairs over 4 ranks: 10/11/10/11 — imbalanced on purpose
+	p.Nomega = 3
+	dev, err := device.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+func benchSchedule(b *testing.B, sched Schedule, workers int) {
+	dev := benchDevice(b)
+	opts := DefaultOptions(4)
+	opts.Schedule = sched
+	opts.Workers = workers
+	opts.MaxIter = 3
+	opts.Tol = 1e-300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(dev, opts)
+		if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+			b.Fatal(err)
+		}
+		var wall int64
+		for _, it := range res.IterTrace {
+			wall += it.WallNs
+		}
+		b.ReportMetric(float64(wall)/float64(len(res.IterTrace)), "ns/iter")
+	}
+}
+
+func BenchmarkSchedulePhases(b *testing.B)    { benchSchedule(b, SchedulePhases, 0) }
+func BenchmarkScheduleOverlap1W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 1) }
+func BenchmarkScheduleOverlap2W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 2) }
+func BenchmarkScheduleOverlap4W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 4) }

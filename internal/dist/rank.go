@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/blocktri"
 	"repro/internal/comm"
@@ -13,50 +14,138 @@ import (
 	"repro/internal/tensor"
 )
 
-// runRank is one rank's life: persistent shard state across the whole
-// self-consistent loop. Only rank 0 writes into res (the caller reads it
-// after World.Run returns, which orders the accesses).
-func runRank(c *comm.Comm, w *comm.World, dev *device.Device, opts Options, res *Result) error {
+// rankState is one rank's persistent shard state across the whole
+// self-consistent loop, shared by both schedules.
+type rankState struct {
+	c        *comm.Comm
+	dev      *device.Device
+	ps       *negf.PointSolver
+	src      *decomp.OMENLayout
+	tiles    *decomp.DaCeLayout
+	atomSets [][]int
+	pairs    [][2]int // owned electron (kz, E) points
+	points   [][2]int // owned phonon (qz, ω) points
+	hams     map[int]*blocktri.Matrix
+	dyns     map[int]*blocktri.Matrix
+	// Per-atom phonon spectral weight and occupation partials of the last
+	// GF phase, reduced once after the loop for the temperature map.
+	dos, occ [][]float64
+	in       *sse.Input
+}
+
+func newRankState(c *comm.Comm, dev *device.Device, opts Options) *rankState {
 	p := dev.P
 	r := c.Rank()
-	ps := negf.NewPointSolver(dev, opts.CacheMode)
-	src := decomp.NewOMENLayout(p, opts.Ranks)
-	tiles := decomp.NewDaCeLayout(dev, opts.Ta, opts.TE)
-	atomSets := tiles.AtomSets()
-	pairs := src.OwnedPairs(r)
-	points := src.OwnedPhonon(r)
+	rs := &rankState{
+		c:     c,
+		dev:   dev,
+		ps:    negf.NewPointSolver(dev, opts.CacheMode),
+		src:   decomp.NewOMENLayout(p, opts.Ranks),
+		tiles: decomp.NewDaCeLayout(dev, opts.Ta, opts.TE),
+	}
+	rs.atomSets = rs.tiles.AtomSets()
+	rs.pairs = rs.src.OwnedPairs(r)
+	rs.points = rs.src.OwnedPhonon(r)
 
 	// H(kz) and Φ(qz) are self-energy-independent: assemble each owned
 	// momentum once for the whole run.
-	hams := make(map[int]*blocktri.Matrix)
-	for _, pr := range pairs {
-		if _, ok := hams[pr[0]]; !ok {
-			hams[pr[0]] = dev.Hamiltonian(pr[0])
+	rs.hams = make(map[int]*blocktri.Matrix)
+	for _, pr := range rs.pairs {
+		if _, ok := rs.hams[pr[0]]; !ok {
+			rs.hams[pr[0]] = dev.Hamiltonian(pr[0])
 		}
 	}
-	dyns := make(map[int]*blocktri.Matrix)
-	for _, pt := range points {
-		if _, ok := dyns[pt[0]]; !ok {
-			dyns[pt[0]] = dev.Dynamical(pt[0])
+	rs.dyns = make(map[int]*blocktri.Matrix)
+	for _, pt := range rs.points {
+		if _, ok := rs.dyns[pt[0]]; !ok {
+			rs.dyns[pt[0]] = dev.Dynamical(pt[0])
 		}
 	}
 
-	// Per-atom phonon spectral weight and occupation partials of the last
-	// GF phase, reduced once after the loop for the temperature map.
-	dos := make([][]float64, p.Na)
-	occ := make([][]float64, p.Na)
-	for a := range dos {
-		dos[a] = make([]float64, p.Nomega)
-		occ[a] = make([]float64, p.Nomega)
+	rs.dos = make([][]float64, p.Na)
+	rs.occ = make([][]float64, p.Na)
+	for a := range rs.dos {
+		rs.dos[a] = make([]float64, p.Nomega)
+		rs.occ[a] = make([]float64, p.Nomega)
 	}
+	rs.in = &sse.Input{Dev: dev, GL: rs.ps.GL, GG: rs.ps.GG, DL: rs.ps.DL, DG: rs.ps.DG}
+	return rs
+}
 
-	in := &sse.Input{Dev: dev, GL: ps.GL, GG: ps.GG, DL: ps.DL, DG: ps.DG}
+// mix blends the freshly exchanged Σ≷/Π≷ planes of the owned points into
+// the solver state — tensor.MixSlice is the same blend the sequential
+// solver applies tensor-wide.
+func (rs *rankState) mixSigma(out *sse.Output, mixing float64) {
+	for _, pr := range rs.pairs {
+		tensor.MixSlice(rs.ps.SigL.Plane(pr[0], pr[1]), out.SigL.Plane(pr[0], pr[1]), mixing)
+		tensor.MixSlice(rs.ps.SigG.Plane(pr[0], pr[1]), out.SigG.Plane(pr[0], pr[1]), mixing)
+	}
+}
+
+func (rs *rankState) mixPi(out *sse.Output, mixing float64) {
+	for _, pt := range rs.points {
+		tensor.MixSlice(rs.ps.PiL.Plane(pt[0], pt[1]-1), out.PiL.Plane(pt[0], pt[1]-1), mixing)
+		tensor.MixSlice(rs.ps.PiG.Plane(pt[0], pt[1]-1), out.PiG.Plane(pt[0], pt[1]-1), mixing)
+	}
+}
+
+// epilogue reduces the spectral weight/occupation for the temperature map
+// (dos in the real parts, occ in the imaginary) and gathers the per-rank
+// load report. Only rank 0 consumes either, so both collectives are
+// rooted there — the measured volume stays what the algorithm strictly
+// needs.
+func (rs *rankState) epilogue(opts Options, res *Result, converged bool, global *partialObs) {
+	p := rs.dev.P
+	buf := make([]complex128, p.Na*p.Nomega)
+	for a := 0; a < p.Na; a++ {
+		for m := 0; m < p.Nomega; m++ {
+			buf[a*p.Nomega+m] = complex(rs.dos[a][m], rs.occ[a][m])
+		}
+	}
+	buf = rs.c.Reduce(0, buf)
+	_, misses := rs.ps.BC.Stats()
+	loads := rs.c.Gather(0, []complex128{
+		complex(float64(len(rs.pairs)), 0),
+		complex(float64(len(rs.points)), 0),
+		complex(float64(misses), 0),
+	})
+
+	if rs.c.Rank() != 0 {
+		return
+	}
+	for a := 0; a < p.Na; a++ {
+		for m := 0; m < p.Nomega; m++ {
+			rs.dos[a][m] = real(buf[a*p.Nomega+m])
+			rs.occ[a][m] = imag(buf[a*p.Nomega+m])
+		}
+	}
+	res.Converged = converged
+	res.Obs = global.observables(p)
+	res.Obs.AtomTemperature = negf.FitTemperatures(p, rs.dos, rs.occ)
+	res.Load = make([]RankLoad, opts.Ranks)
+	for rank, l := range loads {
+		res.Load[rank] = RankLoad{
+			Rank:       rank,
+			Pairs:      int(real(l[0])),
+			Points:     int(real(l[1])),
+			BCComputes: int(real(l[2])),
+		}
+	}
+}
+
+// runRank is one rank's life under SchedulePhases: the bulk-synchronous
+// GF → barrier → SSE → reduce loop. Only rank 0 writes into res (the
+// caller reads it after World.Run returns, which orders the accesses).
+func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error {
+	rs := newRankState(c, dev, opts)
+	r := c.Rank()
 	var global *partialObs
 	prev := math.NaN()
 	converged := false
 	for it := 0; it < opts.MaxIter; it++ {
+		iterStart := time.Now()
 		// ── GF phase: RGF solves for the owned shard only. No traffic.
-		part, err := solveShard(ps, hams, dyns, pairs, points, dos, occ)
+		part, err := solveShard(rs.ps, rs.hams, rs.dyns, rs.pairs, rs.points, rs.dos, rs.occ)
 		// A rank cannot abandon the collectives unilaterally — the others
 		// would block in the next exchange forever. Agree on failure first:
 		// one scalar Allreduce, nonzero iff any rank errored. The failing
@@ -73,26 +162,26 @@ func runRank(c *comm.Comm, w *comm.World, dev *device.Device, opts Options, res 
 		}
 
 		// ── SSE phase: four Alltoallv exchanges + local tile kernel, then
-		// linear mixing of the owned Σ≷/Π≷ planes.
-		before := snapshotBytes(c, w)
-		out := decomp.ExchangeDaCe(c, tiles, src, atomSets, in)
+		// linear mixing of the owned Σ≷/Π≷ planes. The plan counts this
+		// rank's off-rank traffic at pack time — the same barrier-free
+		// accounting the overlapped schedule uses, so the two schedules'
+		// iteration timings stay comparable.
+		pl := decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in)
+		pl.UnpackG(c.Alltoallv(pl.PackG()))
+		pl.UnpackD(c.Alltoallv(pl.PackD()))
+		pl.ComputeTile()
+		pl.UnpackSigma(c.Alltoallv(pl.PackSigma()))
+		pl.UnpackPi(c.Alltoallv(pl.PackPi()))
+		out := pl.Output()
 		part.sse = out.Stats
-		// Linear mixing of the owned Σ≷/Π≷ planes — tensor.MixSlice is the
-		// same blend the sequential solver applies tensor-wide.
-		for _, pr := range pairs {
-			tensor.MixSlice(ps.SigL.Plane(pr[0], pr[1]), out.SigL.Plane(pr[0], pr[1]), opts.Mixing)
-			tensor.MixSlice(ps.SigG.Plane(pr[0], pr[1]), out.SigG.Plane(pr[0], pr[1]), opts.Mixing)
-		}
-		for _, pt := range points {
-			tensor.MixSlice(ps.PiL.Plane(pt[0], pt[1]-1), out.PiL.Plane(pt[0], pt[1]-1), opts.Mixing)
-			tensor.MixSlice(ps.PiG.Plane(pt[0], pt[1]-1), out.PiG.Plane(pt[0], pt[1]-1), opts.Mixing)
-		}
-		afterSSE := snapshotBytes(c, w)
+		rs.mixSigma(out, opts.Mixing)
+		rs.mixPi(out, opts.Mixing)
+		part.sseB = float64(pl.OffRankBytes())
+		part.redB = reduceShare(c, vecLen(dev.P))
 
 		// ── Convergence: Allreduce the packed observables so every rank
 		// sees the identical global contact current.
-		global = unpackObs(c.Allreduce(part.pack()), p)
-		afterReduce := snapshotBytes(c, w)
+		global = unpackObs(c.Allreduce(part.pack()), dev.P)
 
 		cur := global.currentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
@@ -101,7 +190,8 @@ func runRank(c *comm.Comm, w *comm.World, dev *device.Device, opts Options, res 
 				Iter: it, Current: cur, RelChange: rel,
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
-				SSEBytes: afterSSE - before, ReduceBytes: afterReduce - afterSSE,
+				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
+				WallNs: time.Since(iterStart).Nanoseconds(),
 			})
 		}
 		if it > 0 && rel < opts.Tol {
@@ -111,45 +201,7 @@ func runRank(c *comm.Comm, w *comm.World, dev *device.Device, opts Options, res 
 		prev = cur
 	}
 
-	// ── Epilogue: reduce the spectral weight/occupation for the
-	// temperature map (dos in the real parts, occ in the imaginary) and
-	// gather the per-rank load report. Only rank 0 consumes either, so
-	// both collectives are rooted there — the measured volume stays what
-	// the algorithm strictly needs.
-	buf := make([]complex128, p.Na*p.Nomega)
-	for a := 0; a < p.Na; a++ {
-		for m := 0; m < p.Nomega; m++ {
-			buf[a*p.Nomega+m] = complex(dos[a][m], occ[a][m])
-		}
-	}
-	buf = c.Reduce(0, buf)
-	_, misses := ps.BC.Stats()
-	loads := c.Gather(0, []complex128{
-		complex(float64(len(pairs)), 0),
-		complex(float64(len(points)), 0),
-		complex(float64(misses), 0),
-	})
-
-	if r == 0 {
-		for a := 0; a < p.Na; a++ {
-			for m := 0; m < p.Nomega; m++ {
-				dos[a][m] = real(buf[a*p.Nomega+m])
-				occ[a][m] = imag(buf[a*p.Nomega+m])
-			}
-		}
-		res.Converged = converged
-		res.Obs = global.observables(p)
-		res.Obs.AtomTemperature = negf.FitTemperatures(p, dos, occ)
-		res.Load = make([]RankLoad, opts.Ranks)
-		for rank, l := range loads {
-			res.Load[rank] = RankLoad{
-				Rank:       rank,
-				Pairs:      int(real(l[0])),
-				Points:     int(real(l[1])),
-				BCComputes: int(real(l[2])),
-			}
-		}
-	}
+	rs.epilogue(opts, res, converged, global)
 	return nil
 }
 
@@ -162,27 +214,15 @@ func solveShard(ps *negf.PointSolver, hams, dyns map[int]*blocktri.Matrix,
 	p := ps.Dev.P
 	part := newPartialObs(p)
 
-	we := p.DE / (2 * math.Pi) / float64(p.Nkz)
 	for _, pr := range pairs {
 		ik, ie := pr[0], pr[1]
 		r, err := ps.SolveElectronPoint(hams[ik], ik, ie)
 		if err != nil {
 			return nil, fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err)
 		}
-		part.currentL += we * r.CurrentL
-		part.currentR += we * r.CurrentR
-		part.energyL += we * r.EnergyL
-		for i := range r.InterfaceCurrent {
-			part.ifaceCur[i] += we * r.InterfaceCurrent[i]
-			part.ifaceEn[i] += we * r.InterfaceEnergy[i]
-		}
-		for i := range r.DissipatedPerSlab {
-			part.diss[i] += we * r.DissipatedPerSlab[i]
-		}
-		part.spectral[ie] += r.CurrentL
+		part.addElectron(p, ie, r)
 	}
 
-	wp := p.DE / (2 * math.Pi) / float64(p.Nqz())
 	for a := range dos {
 		for m := range dos[a] {
 			dos[a][m], occ[a][m] = 0, 0
@@ -194,15 +234,7 @@ func solveShard(ps *negf.PointSolver, hams, dyns map[int]*blocktri.Matrix,
 		if err != nil {
 			return nil, fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err)
 		}
-		omega := p.Omega(m)
-		part.phononEnergyL += wp * omega * r.EnergyContactL
-		for i := range r.InterfaceEnergy {
-			part.phIfaceEn[i] += wp * omega * r.InterfaceEnergy[i]
-		}
-		for a := 0; a < p.Na; a++ {
-			dos[a][m-1] += r.DOS[a] / float64(p.Nqz())
-			occ[a][m-1] += r.Occ[a] / float64(p.Nqz())
-		}
+		part.addPhonon(p, m, r, dos, occ)
 	}
 
 	part.elLoss = ps.ElectronCollisionSum(pairs)
@@ -210,16 +242,34 @@ func solveShard(ps *negf.PointSolver, hams, dyns map[int]*blocktri.Matrix,
 	return part, nil
 }
 
-// snapshotBytes reads the world's cumulative sent-byte counter at a
-// globally quiescent point: the first barrier guarantees all prior
-// traffic is counted, the second holds the other ranks back until rank 0
-// has read. Meaningful on rank 0 only.
-func snapshotBytes(c *comm.Comm, w *comm.World) int64 {
-	c.Barrier()
-	var b int64
-	if c.Rank() == 0 {
-		b = w.Stats().BytesSent
+// addElectron folds one electron point's observables into the partial,
+// with the same weights and order as the sequential reduction.
+func (po *partialObs) addElectron(p device.Params, ie int, r *negf.ElectronPointResult) {
+	we := p.DE / (2 * math.Pi) / float64(p.Nkz)
+	po.currentL += we * r.CurrentL
+	po.currentR += we * r.CurrentR
+	po.energyL += we * r.EnergyL
+	for i := range r.InterfaceCurrent {
+		po.ifaceCur[i] += we * r.InterfaceCurrent[i]
+		po.ifaceEn[i] += we * r.InterfaceEnergy[i]
 	}
-	c.Barrier()
-	return b
+	for i := range r.DissipatedPerSlab {
+		po.diss[i] += we * r.DissipatedPerSlab[i]
+	}
+	po.spectral[ie] += r.CurrentL
+}
+
+// addPhonon folds one phonon point's observables into the partial and the
+// dos/occ accumulators.
+func (po *partialObs) addPhonon(p device.Params, m int, r *negf.PhononPointResult, dos, occ [][]float64) {
+	wp := p.DE / (2 * math.Pi) / float64(p.Nqz())
+	omega := p.Omega(m)
+	po.phononEnergyL += wp * omega * r.EnergyContactL
+	for i := range r.InterfaceEnergy {
+		po.phIfaceEn[i] += wp * omega * r.InterfaceEnergy[i]
+	}
+	for a := 0; a < p.Na; a++ {
+		dos[a][m-1] += r.DOS[a] / float64(p.Nqz())
+		occ[a][m-1] += r.Occ[a] / float64(p.Nqz())
+	}
 }

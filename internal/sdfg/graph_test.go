@@ -1,0 +1,80 @@
+package sdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndValidate(t *testing.T) {
+	g := New()
+	a := g.Add(Spec{Label: "a"})
+	b := g.Add(Spec{Label: "b"}, a)
+	c := g.Add(Spec{Label: "c"}, a, b)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Node(c).Deps(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("deps of c = %v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRejectsForwardDep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on forward dependency")
+		}
+	}()
+	g := New()
+	g.Add(Spec{Label: "a"}, NodeID(5))
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New()
+	a := g.Add(Spec{Label: "a"})
+	b := g.Add(Spec{Label: "b"}, a)
+	// Hand-wire a back edge (unreachable through Add).
+	g.nodes[a].deps = append(g.nodes[a].deps, b)
+	g.nodes[b].succs = append(g.nodes[b].succs, a)
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestPhasedInsertsBarriers(t *testing.T) {
+	// Two ranks, two phases, no cross-phase edges: the phased graph must
+	// prevent any phase-1 node from starting before both phase-0 nodes end.
+	g := New()
+	g.Add(Spec{Label: "gf0", Phase: 0, Rank: 0, Cost: 10})
+	g.Add(Spec{Label: "gf1", Phase: 0, Rank: 1, Cost: 1})
+	g.Add(Spec{Label: "sse0", Phase: 1, Rank: 0, Cost: 1})
+	g.Add(Spec{Label: "sse1", Phase: 1, Rank: 1, Cost: 10})
+	ph := g.Phased()
+	if err := ph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ph.Len() != g.Len()+1 {
+		t.Fatalf("phased graph has %d nodes, want %d", ph.Len(), g.Len()+1)
+	}
+	// Overlapped: each rank runs its own chain → makespan 11.
+	// Phased: the barrier serializes the slow halves → 20.
+	if got := Simulate(g, 1); got != 11 {
+		t.Fatalf("overlapped makespan = %v, want 11", got)
+	}
+	if got := Simulate(ph, 1); got != 20 {
+		t.Fatalf("phased makespan = %v, want 20", got)
+	}
+}
+
+func TestPhasedKeepsIntraPhaseEdges(t *testing.T) {
+	g := New()
+	a := g.Add(Spec{Label: "a", Phase: 0, Cost: 3})
+	g.Add(Spec{Label: "b", Phase: 0, Cost: 4}, a)
+	ph := g.Phased()
+	if got := Simulate(ph, 4); got != 7 {
+		t.Fatalf("chain within a phase must stay serialized: makespan %v", got)
+	}
+}
