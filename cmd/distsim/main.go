@@ -18,12 +18,22 @@
 //     internal/stream copy/compute-overlap prediction built from the
 //     measured compute/communication split.
 //
+// -precision mixed threads the §5.4 mixed-precision path through every
+// sweep: the SSE tiles run the normalized binary16 kernel and the four
+// Alltoallv exchanges ship half-width split-complex wire payloads. Each
+// world size then also runs the fp64 baseline at the identical
+// decomposition, and the report gains the measured fp64→mixed volume
+// reduction, the per-iteration Σ≷/Π≷ quantization deviation (error
+// probe), and the current check against the sequential fp64 solver
+// under the documented dist.MixedCurrentTol.
+//
 // Output formats: -format text (human tables), json, or csv — the
 // machine-readable forms feed scaling-sweep trajectories.
 //
 // Example:
 //
 //	distsim -mode strong,overlap -na 24 -bnum 4 -norb 2 -ne 16 -nw 4 -iters 3
+//	distsim -mode strong -precision mixed -iters 3
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/decomp"
 	"repro/internal/device"
 	"repro/internal/dist"
 	"repro/internal/model"
@@ -50,6 +61,7 @@ type scaleRow struct {
 	P             int     `json:"p"`
 	Ta            int     `json:"ta"`
 	TE            int     `json:"te"`
+	Precision     string  `json:"precision"`
 	Current       float64 `json:"current"`
 	SSEMeasBytes  int64   `json:"sse_meas_bytes_per_iter"`
 	SSEModelBytes int64   `json:"sse_model_bytes_per_iter"`
@@ -57,6 +69,13 @@ type scaleRow struct {
 	ReduceBytes   int64   `json:"reduce_bytes_per_iter"`
 	WallNs        int64   `json:"wall_ns_per_iter"`
 	RelVsSeq      float64 `json:"rel_vs_sequential"` // -1 when not verified
+	// Mixed-precision comparison columns (zero under -precision fp64):
+	// the fp64 baseline's measured exchange volume at the identical
+	// decomposition, the measured fp64/mixed volume reduction, and the
+	// worst per-iteration Σ≷/Π≷ quantization deviation from the probe.
+	FP64SSEBytes int64   `json:"fp64_sse_bytes_per_iter,omitempty"`
+	VolumeRatio  float64 `json:"fp64_over_mixed_volume,omitempty"`
+	SigmaErr     float64 `json:"max_sigma_qerr,omitempty"`
 }
 
 // overlapRow is one world size of the schedule comparison.
@@ -91,7 +110,14 @@ func main() {
 	ranks := flag.String("ranks", "1,2,4,8", "comma-separated world sizes")
 	workers := flag.Int("workers", 2, "per-rank worker pool of the overlapped schedule")
 	verify := flag.Bool("verify", true, "check currents against the sequential solver (strong mode)")
+	precFlag := flag.String("precision", "fp64", "SSE precision: fp64, or mixed (binary16 tile kernel + half-width wire payloads, with an fp64 baseline run per world size for the volume/error columns)")
 	flag.Parse()
+
+	prec, err := decomp.ParsePrecision(*precFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
+		os.Exit(1)
+	}
 
 	modes := map[string]bool{}
 	for _, m := range strings.Split(*mode, ",") {
@@ -127,18 +153,18 @@ func main() {
 	var rep report
 	text := *format == "text"
 	if modes["strong"] {
-		rep.Strong = runScaleSweep("strong", base, ps, *iters, *verify, text,
+		rep.Strong = runScaleSweep("strong", base, ps, *iters, *verify, text, prec,
 			func(p device.Params, _ int) device.Params { return p })
 	}
 	if modes["weak"] {
-		rep.Weak = runScaleSweep("weak", base, ps, *iters, false, text,
+		rep.Weak = runScaleSweep("weak", base, ps, *iters, false, text, prec,
 			func(p device.Params, ranks int) device.Params {
 				p.NE = base.NE * ranks
 				return p
 			})
 	}
 	if modes["overlap"] {
-		rep.Overlap = runOverlapSweep(base, ps, *iters, *workers, text)
+		rep.Overlap = runOverlapSweep(base, ps, *iters, *workers, text, prec)
 	}
 
 	switch *format {
@@ -190,10 +216,11 @@ func buildDevice(p device.Params, ranks int) *device.Device {
 // runScaleSweep executes the distributed loop for every world size and
 // returns (and in text mode prints) the measured-vs-modelled rows.
 func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, verify, text bool,
-	scale func(device.Params, int) device.Params) []scaleRow {
+	prec dist.Precision, scale func(device.Params, int) device.Params) []scaleRow {
 
+	mixed := prec == dist.PrecisionMixed
 	if text {
-		fmt.Printf("── %s scaling ──\n", sweep)
+		fmt.Printf("── %s scaling (%s) ──\n", sweep, prec)
 		fmt.Printf("   base: Na=%d bnum=%d Norb=%d Nkz=%d NE=%d Nω=%d, %d iterations\n",
 			base.Na, base.Bnum, base.Norb, base.Nkz, base.NE, base.Nomega, iters)
 		fmt.Printf("   %2s  %5s  %14s  %13s  %13s  %6s  %11s  %8s\n",
@@ -210,26 +237,53 @@ func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, ver
 		opts := dist.DefaultOptions(p)
 		opts.MaxIter = iters
 		opts.Tol = 1e-300 // run all iterations: we are measuring, not converging
+		opts.Precision = prec
+		opts.ErrorProbe = mixed
 		res := runDist(dev, opts)
 
 		var sseBytes, reduceBytes, wallNs int64
+		var qerr float64
 		for _, it := range res.IterTrace {
 			sseBytes += it.SSEBytes
 			reduceBytes += it.ReduceBytes
 			wallNs += it.WallNs
+			if it.SigmaErr > qerr {
+				qerr = it.SigmaErr
+			}
 		}
 		n := int64(len(res.IterTrace))
 		a2aPerIter = res.Comm.Collectives["Alltoallv"] / n
 		last := res.IterTrace[len(res.IterTrace)-1]
 		modelled := model.DaCeCommVolume(dev.P, opts.Ta, opts.TE)
+		if mixed {
+			modelled = model.DaCeCommVolumeMixed(dev.P, opts.Ta, opts.TE)
+		}
 		row := scaleRow{
 			Sweep: sweep, P: p, Ta: opts.Ta, TE: opts.TE,
+			Precision:    prec.String(),
 			Current:      last.Current,
 			SSEMeasBytes: sseBytes / n, SSEModelBytes: int64(modelled),
 			Ratio:       float64(sseBytes/n) / modelled,
 			ReduceBytes: reduceBytes / n,
 			WallNs:      wallNs / n,
 			RelVsSeq:    -1,
+			SigmaErr:    qerr,
+		}
+		if mixed {
+			// The volume column needs the fp64 baseline at the identical
+			// decomposition: run it and compare measured exchange bytes.
+			fpOpts := opts
+			fpOpts.Precision = dist.PrecisionFP64
+			fpOpts.ErrorProbe = false
+			fpRes := runDist(dev, fpOpts)
+			var fpSSE int64
+			for _, it := range fpRes.IterTrace {
+				fpSSE += it.SSEBytes
+			}
+			row.FP64SSEBytes = fpSSE / int64(len(fpRes.IterTrace))
+			if row.SSEMeasBytes > 0 {
+				row.VolumeRatio = float64(row.FP64SSEBytes) / float64(row.SSEMeasBytes)
+			}
 		}
 		if verify {
 			if !haveRef {
@@ -244,12 +298,21 @@ func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, ver
 				p, opts.Ta, opts.TE, row.Current,
 				fmtBytes(row.SSEMeasBytes), fmtBytes(row.SSEModelBytes), row.Ratio,
 				fmtBytes(row.ReduceBytes), time.Duration(row.WallNs).Round(time.Millisecond))
+			if mixed && row.FP64SSEBytes > 0 {
+				fmt.Printf("       vs fp64 exchange: %s → %s per iteration (%.2fx less); max Σ qerr %.2e\n",
+					fmtBytes(row.FP64SSEBytes), fmtBytes(row.SSEMeasBytes), row.VolumeRatio, row.SigmaErr)
+			} else if mixed {
+				fmt.Printf("       vs fp64 exchange: no off-rank traffic at P=1; max Σ qerr %.2e\n", row.SigmaErr)
+			}
 			if verify {
-				status := "ok"
-				if row.RelVsSeq > 1e-12 {
+				tol, status := 1e-12, "ok"
+				if mixed {
+					tol = dist.MixedCurrentTol
+				}
+				if row.RelVsSeq > tol {
 					status = "MISMATCH"
 				}
-				fmt.Printf("       vs sequential: rel %.2e (%s)\n", row.RelVsSeq, status)
+				fmt.Printf("       vs sequential fp64: rel %.2e (%s, tol %.0e)\n", row.RelVsSeq, status, tol)
 			}
 		}
 	}
@@ -269,9 +332,9 @@ func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, ver
 // graph, compare measured per-iteration makespans, and set the result
 // against the internal/stream prediction derived from the measured
 // compute/communication split.
-func runOverlapSweep(base device.Params, ranks []int, iters, workers int, text bool) []overlapRow {
+func runOverlapSweep(base device.Params, ranks []int, iters, workers int, text bool, prec dist.Precision) []overlapRow {
 	if text {
-		fmt.Printf("── overlap vs phases (workers=%d) ──\n", workers)
+		fmt.Printf("── overlap vs phases (workers=%d, %s) ──\n", workers, prec)
 		fmt.Printf("   %2s  %10s  %10s  %7s  %12s  %9s  %9s\n",
 			"P", "phases/it", "overlap/it", "speedup", "stream pred", "comm/comp", "max rel")
 	}
@@ -282,6 +345,7 @@ func runOverlapSweep(base device.Params, ranks []int, iters, workers int, text b
 		phases := dist.DefaultOptions(p)
 		phases.MaxIter = iters
 		phases.Tol = 1e-300
+		phases.Precision = prec
 		pres := runDist(dev, phases)
 
 		overlap := phases
@@ -343,15 +407,17 @@ func writeCSV(f *os.File, rep report) error {
 	w := csv.NewWriter(f)
 	defer w.Flush()
 	if len(rep.Strong)+len(rep.Weak) > 0 {
-		if err := w.Write([]string{"sweep", "p", "ta", "te", "current",
+		if err := w.Write([]string{"sweep", "p", "ta", "te", "precision", "current",
 			"sse_meas_bytes_per_iter", "sse_model_bytes_per_iter", "meas_over_model",
-			"reduce_bytes_per_iter", "wall_ns_per_iter", "rel_vs_sequential"}); err != nil {
+			"reduce_bytes_per_iter", "wall_ns_per_iter", "rel_vs_sequential",
+			"fp64_sse_bytes_per_iter", "fp64_over_mixed_volume", "max_sigma_qerr"}); err != nil {
 			return err
 		}
 		for _, r := range append(append([]scaleRow(nil), rep.Strong...), rep.Weak...) {
-			if err := w.Write([]string{r.Sweep, itoa(r.P), itoa(r.Ta), itoa(r.TE),
+			if err := w.Write([]string{r.Sweep, itoa(r.P), itoa(r.Ta), itoa(r.TE), r.Precision,
 				ftoa(r.Current), itoa64(r.SSEMeasBytes), itoa64(r.SSEModelBytes),
-				ftoa(r.Ratio), itoa64(r.ReduceBytes), itoa64(r.WallNs), ftoa(r.RelVsSeq)}); err != nil {
+				ftoa(r.Ratio), itoa64(r.ReduceBytes), itoa64(r.WallNs), ftoa(r.RelVsSeq),
+				itoa64(r.FP64SSEBytes), ftoa(r.VolumeRatio), ftoa(r.SigmaErr)}); err != nil {
 				return err
 			}
 		}

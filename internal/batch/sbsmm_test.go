@@ -164,6 +164,64 @@ func TestSBSMMHalfNormalizedAccuracy(t *testing.T) {
 	}
 }
 
+// TestSBSMMHalfErrorBoundVsSeq: the analytic forward-error bound of the
+// normalized fp16 path against the exact fp64 batch. Each decoded
+// operand entry carries at most ε₁₆ = 2^-11 relative error against the
+// batch magnitude (power-of-two normalization is exact, accumulation is
+// fp64), so every output entry of an n×n product obeys
+//
+//	|ĉ − c| ≤ 4·n·ε₁₆·maxA·maxB   (4: two operands × complex re/im pair)
+//
+// across random batches of every size the SSE uses, and magnitudes from
+// deep-subnormal to large.
+func TestSBSMMHalfErrorBoundVsSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eps := math.Ldexp(1, -11)
+	for _, tc := range []struct {
+		n, count int
+		scale    float64
+	}{
+		{2, 64, 1}, {5, 40, 1e-9}, {12, 32, 1e3}, {16, 16, 1e-6}, {25, 8, 4e-14},
+	} {
+		a := randomBatch(rng, tc.n, tc.count, tc.scale)
+		b := randomBatch(rng, tc.n, tc.count, tc.scale)
+		want := make([]complex128, len(a))
+		SBSMMSeq(want, a, b, tc.n, tc.count)
+
+		got := make([]complex128, len(a))
+		SBSMMHalf(got, EncodeHalf(a, tc.n, tc.count), EncodeHalf(b, tc.n, tc.count))
+
+		maxA, maxB := maxAbsEntry(a), maxAbsEntry(b)
+		bound := 4 * float64(tc.n) * eps * maxA * maxB
+		var worst float64
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > bound {
+			t.Errorf("n=%d count=%d scale=%g: error %g exceeds bound %g",
+				tc.n, tc.count, tc.scale, worst, bound)
+		}
+		// The bound must also be doing work: the observed error should be
+		// within a few orders of it, or the test asserts nothing.
+		if worst < bound*1e-6 {
+			t.Errorf("n=%d scale=%g: error %g suspiciously far below bound %g",
+				tc.n, tc.scale, worst, bound)
+		}
+	}
+}
+
+func maxAbsEntry(vs []complex128) float64 {
+	var mx float64
+	for _, v := range vs {
+		if a := math.Max(math.Abs(real(v)), math.Abs(imag(v))); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
 func TestSBSMMHalfMismatchPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	a := EncodeHalf(randomBatch(rng, 2, 3, 1), 2, 3)

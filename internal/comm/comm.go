@@ -208,6 +208,8 @@ const (
 	tagBarrier
 	tagGather
 	tagAllgather
+	tagMaxUp
+	tagMaxDown
 )
 
 // Bcast sends root's data to every rank and returns the received copy
@@ -257,6 +259,40 @@ func (c *Comm) Allreduce(data []complex128) []complex128 {
 		return c.Bcast(0, sum)
 	}
 	return c.Bcast(0, nil)
+}
+
+// AllreduceMax combines every rank's contribution with the elementwise
+// maximum of the real and imaginary parts independently (MPI_MAX on a
+// vector of value pairs) and returns the identical result on all ranks.
+// The distributed solver uses it for the mixed-precision error telemetry:
+// the global deviation is the worst rank's, not the sum.
+func (c *Comm) AllreduceMax(data []complex128) []complex128 {
+	if c.rank != 0 {
+		c.send(0, tagMaxUp, data, "AllreduceMax")
+		return c.Recv(0, tagMaxDown)
+	}
+	c.world.countCollective("AllreduceMax")
+	mx := append([]complex128(nil), data...)
+	for r := 1; r < c.world.size; r++ {
+		part := c.Recv(r, tagMaxUp)
+		if len(part) != len(mx) {
+			panic("comm: AllreduceMax length mismatch")
+		}
+		for i, v := range part {
+			re, im := real(mx[i]), imag(mx[i])
+			if real(v) > re {
+				re = real(v)
+			}
+			if imag(v) > im {
+				im = imag(v)
+			}
+			mx[i] = complex(re, im)
+		}
+	}
+	for r := 1; r < c.world.size; r++ {
+		c.send(r, tagMaxDown, mx, "AllreduceMax")
+	}
+	return mx
 }
 
 // Alltoallv exchanges per-destination buffers: send[r] goes to rank r, and

@@ -1,11 +1,46 @@
 package decomp
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/comm"
+	"repro/internal/half"
 	"repro/internal/sse"
 )
+
+// Precision selects the numeric and wire format of an SSE exchange.
+type Precision int
+
+const (
+	// FP64 is the full-width baseline: fp64 tile kernel, complex128
+	// payloads on every Alltoallv.
+	FP64 Precision = iota
+	// Mixed is the §5.4 path threaded through the distributed exchange:
+	// the tile runs the normalized mixed-precision SSE kernel, and all
+	// four Alltoallv exchanges ship split-complex binary16 wire payloads
+	// (internal/half's wire format) with per-block normalization factors
+	// and automatic fp64 fallback for unquantizable blocks.
+	Mixed
+)
+
+func (p Precision) String() string {
+	if p == Mixed {
+		return "mixed"
+	}
+	return "fp64"
+}
+
+// ParsePrecision maps the CLI spelling to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp64":
+		return FP64, nil
+	case "mixed":
+		return Mixed, nil
+	}
+	return FP64, fmt.Errorf("decomp: unknown precision %q (want fp64 or mixed)", s)
+}
 
 // DaCePlan stages the communication-avoiding SSE phase of one rank into
 // its pack / unpack / compute pieces, so both execution styles share one
@@ -33,6 +68,13 @@ type DaCePlan struct {
 	myTa, myTe int
 	bl, pbl    int
 
+	prec  Precision
+	probe bool
+	// Probe accumulators, written by ComputeTile and read after
+	// (graph-ordered): absolute ∞-norm deviation and reference ∞-norm of
+	// this tile's output, per tensor class ([0] Σ≷ pair, [1] Π≷ pair).
+	probeDev, probeRef [2]float64
+
 	offRankBytes atomic.Int64 // post nodes may pack concurrently
 }
 
@@ -50,10 +92,55 @@ func NewDaCePlan(rank int, l *DaCeLayout, src *OMENLayout, atomSets [][]int, loc
 	}
 }
 
+// WithPrecision selects the plan's numeric/wire format (default FP64)
+// and returns the plan for chaining. Must be set before any pack stage.
+func (pl *DaCePlan) WithPrecision(p Precision) *DaCePlan {
+	pl.prec = p
+	return pl
+}
+
+// WithErrorProbe makes ComputeTile additionally run the fp64 reference
+// kernel on the same (wire-decoded) inputs and record the normwise
+// relative deviation of the mixed tile's Σ≷/Π≷ — the per-iteration
+// precision-error telemetry. Doubles the tile compute; diagnostics only.
+func (pl *DaCePlan) WithErrorProbe() *DaCePlan {
+	pl.probe = true
+	return pl
+}
+
+// ProbeDeviation returns the probe's absolute ∞-norm deviation and
+// reference ∞-norm per tensor class ([0] Σ≷, [1] Π≷), valid after
+// ComputeTile (all zero without WithErrorProbe or under FP64). The
+// caller forms the relative deviation only after max-reducing both
+// numbers across ranks: a tile's Π≷ partial can cancel to near zero
+// locally while the global field is large, so a locally formed ratio
+// would wildly overstate the error.
+func (pl *DaCePlan) ProbeDeviation() (dev, ref [2]float64) {
+	return pl.probeDev, pl.probeRef
+}
+
 // OffRankBytes reports the payload packed for other ranks so far — the
 // measured SSE traffic this rank generates, matching what the comm layer
-// counts when the buffers are posted.
+// counts when the buffers are posted. Under Mixed precision this is the
+// encoded wire volume, i.e. what actually crosses the network.
 func (pl *DaCePlan) OffRankBytes() int64 { return pl.offRankBytes.Load() }
+
+// encode wraps a packed buffer in the half-width wire format when the
+// plan runs mixed precision; seg is the pack loop's append unit.
+func (pl *DaCePlan) encode(buf []complex128, seg int) []complex128 {
+	if pl.prec != Mixed || len(buf) == 0 {
+		return buf
+	}
+	return half.WireEncode(buf, seg)
+}
+
+// decode undoes encode on an arrived buffer.
+func (pl *DaCePlan) decode(buf []complex128, seg int) []complex128 {
+	if pl.prec != Mixed || len(buf) == 0 {
+		return buf
+	}
+	return half.WireDecode(buf, seg)
+}
 
 // Output returns the tile results (valid after UnpackSigma/UnpackPi).
 func (pl *DaCePlan) Output() *sse.Output { return pl.out }
@@ -87,6 +174,7 @@ func (pl *DaCePlan) PackG() [][]complex128 {
 				}
 			}
 		}
+		buf = pl.encode(buf, 2*pl.bl)
 		pl.countOffRank(dst, buf)
 		send[dst] = buf
 	}
@@ -101,7 +189,7 @@ func (pl *DaCePlan) UnpackG(recv [][]complex128) {
 		if from == pl.rank {
 			continue // own data never left
 		}
-		buf := recv[from]
+		buf := pl.decode(recv[from], 2*pl.bl)
 		pos := 0
 		for ik := 0; ik < p.Nkz; ik++ {
 			for ie := elo; ie < ehi; ie++ {
@@ -141,6 +229,7 @@ func (pl *DaCePlan) PackD() [][]complex128 {
 				}
 			}
 		}
+		buf = pl.encode(buf, 2*pl.pbl)
 		pl.countOffRank(dst, buf)
 		send[dst] = buf
 	}
@@ -154,7 +243,7 @@ func (pl *DaCePlan) UnpackD(recv [][]complex128) {
 		if from == pl.rank {
 			continue // own data never left
 		}
-		buf := recv[from]
+		buf := pl.decode(recv[from], 2*pl.pbl)
 		pos := 0
 		for iq := 0; iq < p.Nqz(); iq++ {
 			for m := 1; m <= p.Nomega; m++ {
@@ -172,11 +261,58 @@ func (pl *DaCePlan) UnpackD(recv [][]complex128) {
 	}
 }
 
-// ComputeTile runs the restricted DaCe kernel on this tile (requires
-// UnpackG and UnpackD).
+// ComputeTile runs the restricted SSE kernel on this tile (requires
+// UnpackG and UnpackD): the fp64 DaCe schedule, or under Mixed precision
+// the SBSMM-backed normalized binary16 kernel of §5.4. With the error
+// probe enabled, the fp64 kernel additionally runs on the identical
+// (wire-decoded) inputs and the normwise relative deviation of the mixed
+// Σ≷/Π≷ is recorded for the telemetry reduction.
 func (pl *DaCePlan) ComputeTile() {
 	elo, ehi := pl.l.EnergyRange(pl.myTe)
-	pl.out = (sse.DaCe{Atoms: pl.l.OwnedAtoms(pl.myTa), ELo: elo, EHi: ehi}).Compute(pl.in)
+	atoms := pl.l.OwnedAtoms(pl.myTa)
+	if pl.prec != Mixed {
+		pl.out = (sse.DaCe{Atoms: atoms, ELo: elo, EHi: ehi}).Compute(pl.in)
+		return
+	}
+	pl.out = (sse.Mixed{Normalize: true, Atoms: atoms, ELo: elo, EHi: ehi}).Compute(pl.in)
+	if pl.probe {
+		ref := (sse.DaCe{Atoms: atoms, ELo: elo, EHi: ehi}).Compute(pl.in)
+		pl.probeDev[0], pl.probeRef[0] = normDev(pl.out.SigL.Data, ref.SigL.Data)
+		d, r := normDev(pl.out.SigG.Data, ref.SigG.Data)
+		pl.probeDev[0], pl.probeRef[0] = max(pl.probeDev[0], d), max(pl.probeRef[0], r)
+		pl.probeDev[1], pl.probeRef[1] = normDev(pl.out.PiL.Data, ref.PiL.Data)
+		d, r = normDev(pl.out.PiG.Data, ref.PiG.Data)
+		pl.probeDev[1], pl.probeRef[1] = max(pl.probeDev[1], d), max(pl.probeRef[1], r)
+	}
+}
+
+// normDev returns ‖got − ref‖∞ and ‖ref‖∞.
+func normDev(got, ref []complex128) (dev, scale float64) {
+	for i, r := range ref {
+		if a := cabs(r); a > scale {
+			scale = a
+		}
+		if d := cabs(got[i] - r); d > dev {
+			dev = d
+		}
+	}
+	return dev, scale
+}
+
+// cabs is max(|Re|, |Im|) — the magnitude metric the normalization
+// factors use, cheaper than the complex modulus and within √2 of it.
+func cabs(v complex128) float64 {
+	re, im := real(v), imag(v)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if im > re {
+		return im
+	}
+	return re
 }
 
 // PackSigma builds exchange #3: the tile's Σ≷ pieces back to the pair
@@ -202,6 +338,7 @@ func (pl *DaCePlan) PackSigma() [][]complex128 {
 				}
 			}
 		}
+		buf = pl.encode(buf, 2*pl.bl)
 		pl.countOffRank(dst, buf)
 		send[dst] = buf
 	}
@@ -218,7 +355,7 @@ func (pl *DaCePlan) UnpackSigma(recv [][]complex128) {
 		fTa, fTe := pl.l.TileOf(from)
 		fLo, fHi := pl.l.EnergyRange(fTe)
 		fOwned := pl.l.OwnedAtoms(fTa)
-		buf := recv[from]
+		buf := pl.decode(recv[from], 2*pl.bl)
 		pos := 0
 		for ik := 0; ik < p.Nkz; ik++ {
 			for ie := fLo; ie < fHi; ie++ {
@@ -258,6 +395,7 @@ func (pl *DaCePlan) PackPi() [][]complex128 {
 				}
 			}
 		}
+		buf = pl.encode(buf, 2*pl.pbl)
 		pl.countOffRank(dst, buf)
 		send[dst] = buf
 	}
@@ -275,7 +413,7 @@ func (pl *DaCePlan) UnpackPi(recv [][]complex128) {
 		}
 		fTa, _ := pl.l.TileOf(from)
 		fOwned := pl.l.OwnedAtoms(fTa)
-		buf := recv[from]
+		buf := pl.decode(recv[from], 2*pl.pbl)
 		pos := 0
 		for iq := 0; iq < p.Nqz(); iq++ {
 			for m := 1; m <= p.Nomega; m++ {

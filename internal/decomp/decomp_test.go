@@ -311,3 +311,83 @@ func TestMoreRanksThanPhononPoints(t *testing.T) {
 	}
 	checkAgainstSequential(t, got, in, "OMEN-sparse-ownership")
 }
+
+// TestMixedExchangeMatchesSequential: the plan-driven exchange under
+// Mixed precision — binary16 wire payloads on all four Alltoallv stages
+// plus the mixed tile kernel — must reproduce the sequential fp64 kernel
+// within the quantization tolerance, while moving measurably fewer bytes
+// than the fp64 exchange at the identical decomposition.
+func TestMixedExchangeMatchesSequential(t *testing.T) {
+	in := testInput(t)
+	want := (sse.DaCe{}).Compute(in)
+
+	runPrec := func(prec Precision) (*sse.Output, comm.Stats) {
+		p := in.Dev.P
+		l := NewDaCeLayout(in.Dev, 3, 2)
+		w := comm.NewWorld(l.P())
+		src := NewOMENLayout(p, l.P())
+		atomSets := l.AtomSets()
+		final := newGathered(in)
+		err := w.Run(func(c *comm.Comm) error {
+			r := c.Rank()
+			local := localInput(in, func(ik, ie int) bool { return src.PairOwner(ik, ie) == r },
+				func(iq, m int) bool { return src.PhononOwner(iq, m) == r })
+			pl := NewDaCePlan(r, l, src, atomSets, local).WithPrecision(prec)
+			pl.UnpackG(c.Alltoallv(pl.PackG()))
+			pl.UnpackD(c.Alltoallv(pl.PackD()))
+			pl.ComputeTile()
+			pl.UnpackSigma(c.Alltoallv(pl.PackSigma()))
+			pl.UnpackPi(c.Alltoallv(pl.PackPi()))
+			// The verification gather below adds traffic, but the assertions
+			// filter on the "Alltoallv" counter, so no snapshot is needed.
+			gatherOMEN(c, src, pl.Output(), final)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final, w.Stats()
+	}
+
+	got, mixedStats := runPrec(Mixed)
+	for _, cmp := range []struct {
+		name string
+		a, b []complex128
+	}{
+		{"SigL", got.SigL.Data, want.SigL.Data},
+		{"SigG", got.SigG.Data, want.SigG.Data},
+		{"PiL", got.PiL.Data, want.PiL.Data},
+		{"PiG", got.PiG.Data, want.PiG.Data},
+	} {
+		if rel := relDiff(cmp.a, cmp.b); rel > 5e-3 {
+			t.Errorf("mixed exchange: %s deviates from sequential fp64 by rel %g (tol 5e-3)", cmp.name, rel)
+		}
+	}
+
+	_, fpStats := runPrec(FP64)
+	fpB := fpStats.CollectiveBytes["Alltoallv"]
+	mxB := mixedStats.CollectiveBytes["Alltoallv"]
+	if fpB == 0 || mxB == 0 {
+		t.Fatalf("missing exchange traffic: fp64 %d, mixed %d", fpB, mxB)
+	}
+	if ratio := float64(fpB) / float64(mxB); ratio < 1.8 {
+		t.Errorf("mixed exchange reduction %.2fx < 1.8x", ratio)
+	}
+}
+
+// TestPrecisionParse covers the CLI mapping.
+func TestPrecisionParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{{"fp64", FP64, true}, {"mixed", Mixed, true}, {"fp16", FP64, false}, {"", FP64, false}} {
+		got, err := ParsePrecision(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FP64.String() != "fp64" || Mixed.String() != "mixed" {
+		t.Error("Precision.String spellings changed")
+	}
+}

@@ -27,10 +27,37 @@ import (
 
 	"repro/internal/bc"
 	"repro/internal/comm"
+	"repro/internal/decomp"
 	"repro/internal/device"
 	"repro/internal/negf"
 	"repro/internal/sse"
 )
+
+// Precision selects the numeric and wire format of the SSE phase; see
+// decomp.Precision. Under PrecisionMixed every rank's tile runs the
+// normalized binary16 SSE kernel (§5.4) and the four Alltoallv exchanges
+// ship half-width split-complex wire payloads, cutting the measured SSE
+// traffic ≳2.5× at the default Norb=2 (asymptotically 4×) while the GF
+// phase stays fp64.
+type Precision = decomp.Precision
+
+const (
+	// PrecisionFP64 is the full-width baseline (the default).
+	PrecisionFP64 = decomp.FP64
+	// PrecisionMixed is the §5.4 mixed-precision path.
+	PrecisionMixed = decomp.Mixed
+)
+
+// MixedCurrentTol is the documented mixed-precision acceptance tolerance:
+// the per-iteration left-contact current of a PrecisionMixed run must
+// match the sequential fp64 solver within this relative deviation for
+// any world size and either schedule. The binary16 mantissa carries 11
+// bits (ε₁₆ ≈ 4.9e-4 relative per rounding); the quantized Σ≷ feed back
+// through the damped (mixing 0.5) self-consistent loop, and the current
+// — an integral observable — lands two to three orders looser than a
+// single rounding. The package regression tests assert this bound for
+// P ∈ {1, 2, 4, 8} on both schedules.
+const MixedCurrentTol = 1e-2
 
 // Schedule selects how each self-consistent iteration executes.
 type Schedule int
@@ -82,6 +109,15 @@ type Options struct {
 	// (default 2: one worker can block in a collective wait while the
 	// other computes). Ignored by SchedulePhases.
 	Workers int
+	// Precision selects fp64 (default) or the mixed binary16 SSE path:
+	// quantized tile kernel plus half-width wire payloads on all four
+	// Alltoallv exchanges.
+	Precision Precision
+	// ErrorProbe (PrecisionMixed only) additionally runs the fp64 tile
+	// kernel each iteration and reduces the worst rank's normwise Σ≷/Π≷
+	// deviation into IterStats.SigmaErr — per-iteration quantization
+	// telemetry at the cost of doubling the tile compute.
+	ErrorProbe bool
 }
 
 // DefaultOptions returns the distributed counterpart of
@@ -126,6 +162,12 @@ func (o Options) normalize() (Options, error) {
 	if o.Schedule != SchedulePhases && o.Schedule != ScheduleOverlap {
 		return o, fmt.Errorf("dist: unknown schedule %d", o.Schedule)
 	}
+	if o.Precision != PrecisionFP64 && o.Precision != PrecisionMixed {
+		return o, fmt.Errorf("dist: unknown precision %d", o.Precision)
+	}
+	if o.Precision != PrecisionMixed {
+		o.ErrorProbe = false
+	}
 	if o.Workers <= 0 {
 		o.Workers = 2
 	}
@@ -143,9 +185,14 @@ type IterStats struct {
 	PhEnergyGain float64   // R_ph: energy absorbed by the phonon bath
 	SSE          sse.Stats // tile kernel counters summed over ranks
 	// SSEBytes is the traffic of the four Alltoallv exchanges this
-	// iteration; ReduceBytes is the observable/convergence Allreduce.
+	// iteration (the encoded wire volume under PrecisionMixed);
+	// ReduceBytes is the observable/convergence Allreduce.
 	SSEBytes    int64
 	ReduceBytes int64
+	// SigmaErr is the worst rank's normwise relative Σ≷/Π≷ deviation of
+	// the mixed tile kernel against the fp64 kernel on identical inputs
+	// this iteration — nonzero only with Options.ErrorProbe.
+	SigmaErr float64
 	// WallNs is rank 0's measured wall time of this iteration — the
 	// per-iteration makespan the overlap benchmark compares across
 	// schedules.

@@ -65,6 +65,7 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
 				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
+				SigmaErr:  st.qerr,
 				WallNs:    wall.Nanoseconds(),
 				ComputeNs: tr.Busy(g, sdfg.Compute).Nanoseconds(),
 				CommNs:    tr.Busy(g, sdfg.Comm).Nanoseconds(),
@@ -95,6 +96,7 @@ type iterRun struct {
 	reqG, reqD, reqSig, reqPi *comm.MatRequest
 	reqObs                    *comm.VecRequest
 	global                    *partialObs
+	qerr                      float64 // globally reduced probe deviation
 }
 
 func (st *iterRun) fail(err error) {
@@ -127,7 +129,11 @@ func (rs *rankState) buildIterationGraph(opts Options, st *iterRun, elRes []*neg
 	p := rs.dev.P
 	c := rs.c
 	st.part = newPartialObs(p)
-	st.plan = decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in)
+	st.plan = decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in).
+		WithPrecision(opts.Precision)
+	if opts.ErrorProbe {
+		st.plan.WithErrorProbe()
+	}
 
 	g := sdfg.New()
 
@@ -301,6 +307,20 @@ func (rs *rankState) buildIterationGraph(opts Options, st *iterRun, elRes []*neg
 		Label: "wait/Pi", Kind: sdfg.Comm, Phase: 1,
 		Run: func() error { st.plan.UnpackPi(st.reqPi.Wait()); return nil },
 	}, postPi, postSig)
+	// Precision telemetry: a blocking max-reduction of the probe's tile
+	// deviation. Like the wait nodes, it depends on both Σ/Π posts, so a
+	// worker may only block here once this rank has posted everything its
+	// peers need to reach their own probe — the same structural argument
+	// that makes the exchange waits deadlock-free for any pool size.
+	if opts.ErrorProbe {
+		g.Add(sdfg.Spec{
+			Label: "probe/qerr", Kind: sdfg.Comm, Phase: 1,
+			Run: func() error {
+				st.qerr = reduceProbe(c, st.plan)
+				return nil
+			},
+		}, tile, postSig, postPi)
+	}
 	g.Add(sdfg.Spec{
 		Label: "mix/Sigma", Phase: 1,
 		Run: func() error { rs.mixSigma(st.plan.Output(), opts.Mixing); return nil },

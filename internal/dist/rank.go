@@ -166,7 +166,11 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		// rank's off-rank traffic at pack time — the same barrier-free
 		// accounting the overlapped schedule uses, so the two schedules'
 		// iteration timings stay comparable.
-		pl := decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in)
+		pl := decomp.NewDaCePlan(c.Rank(), rs.tiles, rs.src, rs.atomSets, rs.in).
+			WithPrecision(opts.Precision)
+		if opts.ErrorProbe {
+			pl.WithErrorProbe()
+		}
 		pl.UnpackG(c.Alltoallv(pl.PackG()))
 		pl.UnpackD(c.Alltoallv(pl.PackD()))
 		pl.ComputeTile()
@@ -178,6 +182,12 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		rs.mixPi(out, opts.Mixing)
 		part.sseB = float64(pl.OffRankBytes())
 		part.redB = reduceShare(c, vecLen(dev.P))
+		// Precision telemetry: the global deviation is the worst rank's,
+		// so it rides a max-reduction, not the summed observable vector.
+		var qerr float64
+		if opts.ErrorProbe {
+			qerr = reduceProbe(c, pl)
+		}
 
 		// ── Convergence: Allreduce the packed observables so every rank
 		// sees the identical global contact current.
@@ -191,7 +201,8 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
 				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
-				WallNs: time.Since(iterStart).Nanoseconds(),
+				SigmaErr: qerr,
+				WallNs:   time.Since(iterStart).Nanoseconds(),
 			})
 		}
 		if it > 0 && rel < opts.Tol {
@@ -203,6 +214,27 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 
 	rs.epilogue(opts, res, converged, global)
 	return nil
+}
+
+// reduceProbe turns per-rank tile probe numbers into the global relative
+// Σ≷/Π≷ deviation: absolute ∞-norm deviations and reference norms are
+// max-reduced independently (real and imaginary halves of one payload
+// word per tensor class), and only then divided — a tile's Π≷ partial
+// can cancel to near zero locally, so local ratios would overstate the
+// error.
+func reduceProbe(c *comm.Comm, pl *decomp.DaCePlan) float64 {
+	dev, ref := pl.ProbeDeviation()
+	red := c.AllreduceMax([]complex128{
+		complex(dev[0], ref[0]),
+		complex(dev[1], ref[1]),
+	})
+	var worst float64
+	for _, v := range red {
+		if imag(v) > 0 && real(v)/imag(v) > worst {
+			worst = real(v) / imag(v)
+		}
+	}
+	return worst
 }
 
 // solveShard runs the GF phase for this rank's owned points: electron and

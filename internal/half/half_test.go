@@ -134,6 +134,94 @@ func TestClamp(t *testing.T) {
 	}
 }
 
+func TestClampEdgeCases(t *testing.T) {
+	// Exact boundaries saturate to themselves.
+	if Clamp(MaxValue) != MaxValue || Clamp(-MaxValue) != -MaxValue {
+		t.Fatal("boundary values must pass unchanged")
+	}
+	// The next float64 above the boundary clamps.
+	up := math.Nextafter(MaxValue, math.Inf(1))
+	if Clamp(up) != MaxValue {
+		t.Fatalf("Clamp(%g) = %g, want MaxValue", up, Clamp(up))
+	}
+	// Infinities saturate; NaN propagates (neither comparison fires) and
+	// Quantize keeps it a NaN rather than inventing a finite value.
+	if Clamp(math.Inf(1)) != MaxValue || Clamp(math.Inf(-1)) != -MaxValue {
+		t.Fatal("infinities must saturate")
+	}
+	if !math.IsNaN(Clamp(math.NaN())) {
+		t.Fatal("Clamp(NaN) must stay NaN")
+	}
+	if !math.IsNaN(Quantize(math.NaN())) {
+		t.Fatal("Quantize(NaN) must stay NaN")
+	}
+	// Signed zeros survive.
+	if math.Signbit(Clamp(math.Copysign(0, -1))) != true {
+		t.Fatal("Clamp must preserve -0")
+	}
+	// Subnormal halves quantize exactly (they are representable).
+	if q := Quantize(SmallestNonzero); q != SmallestNonzero {
+		t.Fatalf("smallest subnormal quantized to %g", q)
+	}
+}
+
+// FuzzFloat16RoundTrip: for every 16-bit pattern, half→float32→half is
+// the identity (NaNs stay NaNs), and float64 round-trips agree with the
+// float32 path.
+func FuzzFloat16RoundTrip(f *testing.F) {
+	f.Add(uint16(0x0000))
+	f.Add(uint16(0x8000)) // -0
+	f.Add(uint16(0x0001)) // smallest subnormal
+	f.Add(uint16(0x03ff)) // largest subnormal
+	f.Add(uint16(0x0400)) // MinNormal
+	f.Add(uint16(0x7bff)) // MaxValue
+	f.Add(uint16(0x7c00)) // +Inf
+	f.Add(uint16(0x7e00)) // NaN
+	f.Fuzz(func(t *testing.T, bits uint16) {
+		h := Float16(bits)
+		if h.IsNaN() {
+			if !FromFloat32(h.Float32()).IsNaN() {
+				t.Fatalf("%#04x: NaN lost in round trip", bits)
+			}
+			return
+		}
+		if got := FromFloat32(h.Float32()); got != h {
+			t.Fatalf("%#04x -> %g -> %#04x", bits, h.Float32(), got)
+		}
+		if got := FromFloat64(h.Float64()); got != h {
+			t.Fatalf("%#04x float64 round trip -> %#04x", bits, got)
+		}
+	})
+}
+
+// FuzzQuantize: quantization of any float64 saturates, never produces
+// Inf from finite input, and keeps the half-ulp relative bound for
+// normal-range magnitudes.
+func FuzzQuantize(f *testing.F) {
+	f.Add(1.5)
+	f.Add(-65504.0)
+	f.Add(1e-8)
+	f.Add(1e300)
+	f.Add(math.Inf(1))
+	f.Fuzz(func(t *testing.T, x float64) {
+		q := Quantize(x)
+		if math.IsNaN(x) {
+			if !math.IsNaN(q) {
+				t.Fatalf("Quantize(NaN) = %g", q)
+			}
+			return
+		}
+		if math.Abs(q) > MaxValue {
+			t.Fatalf("Quantize(%g) = %g escapes the binary16 range", x, q)
+		}
+		if a := math.Abs(x); a >= MinNormal && a <= MaxValue {
+			if math.Abs(q-x) > a*math.Ldexp(1, -11) {
+				t.Fatalf("Quantize(%g) = %g outside half-ulp bound", x, q)
+			}
+		}
+	})
+}
+
 func TestSplitComplexRoundTrip(t *testing.T) {
 	src := []complex128{1 + 2i, -3.5 + 0.25i, 0, 1000 - 1000i}
 	sc := NewSplitComplex(len(src))

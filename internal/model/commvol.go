@@ -1,6 +1,9 @@
 package model
 
-import "repro/internal/device"
+import (
+	"repro/internal/device"
+	"repro/internal/half"
+)
 
 // Bytes-per-object sizes (complex128 = 16 bytes; both lesser and greater
 // components are moved, hence the factor 32 per stored element).
@@ -45,6 +48,30 @@ func DaCeCommVolume(p device.Params, ta, te int) float64 {
 	g := 64 * float64(p.Nkz) * energyShare * atomShare * float64(p.Norb) * float64(p.Norb)
 	d := 64 * float64(p.Nqz()) * float64(p.Nomega) * atomShare * float64(p.NbT+1) *
 		float64(device.N3D) * float64(device.N3D)
+	return procs * (g + d)
+}
+
+// DaCeCommVolumeMixed returns the predicted per-iteration SSE wire
+// volume of the Ta×TE decomposition when the exchanges ship the
+// half-width split-complex binary16 format (internal/half's wire
+// encoding) instead of complex128. Each (point, atom) block unit of the
+// fp64 model becomes one wire segment of 1 + ⌈n/4⌉ words (n elements
+// packed four complex values per word, plus the per-segment
+// normalization header), assuming no segment takes the fp64 fallback —
+// the prediction the measured mixed Alltoallv bytes are set against.
+func DaCeCommVolumeMixed(p device.Params, ta, te int) float64 {
+	procs := float64(ta * te)
+	atomShare := float64(p.Na)/float64(ta) + float64(p.NbT)
+	energyShare := float64(p.NE)/float64(te) + 2*float64(p.Nomega)
+	segG := 2 * p.Norb * p.Norb
+	segD := 2 * (p.NbT + 1) * device.N3D * device.N3D
+	// Block units per process: electron (point, atom) pairs for the
+	// G≷/Σ≷ stage pair, phonon (point, atom) pairs for D≷/Π≷; each unit
+	// moves one segment in each stage of its pair.
+	uG := float64(p.Nkz) * energyShare * atomShare
+	uD := float64(p.Nqz()) * float64(p.Nomega) * atomShare
+	g := 2 * uG * 16 * float64(half.WireWords(segG))
+	d := 2 * uD * 16 * float64(half.WireWords(segD))
 	return procs * (g + d)
 }
 

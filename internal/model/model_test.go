@@ -250,3 +250,26 @@ func TestTotalIterationFlops(t *testing.T) {
 		t.Fatalf("savings %.3g implausible vs SSE %.3g", saved, SSEOMENFlops(p))
 	}
 }
+
+func TestDaCeCommVolumeMixed(t *testing.T) {
+	p := device.TestParams(24, 4, 2)
+	p.NE = 16
+	p.Nomega = 4
+	fp := DaCeCommVolume(p, 2, 4)
+	mx := DaCeCommVolumeMixed(p, 2, 4)
+	if mx <= 0 || fp <= 0 {
+		t.Fatalf("volumes must be positive: fp64 %g, mixed %g", fp, mx)
+	}
+	// Norb=2 electron segments pack 8 words into 3 (8/3×), the phonon
+	// segments better: the overall predicted reduction must exceed the
+	// 1.8× acceptance factor and stay below the asymptotic 4×.
+	ratio := fp / mx
+	if ratio < 1.8 || ratio > 4 {
+		t.Errorf("predicted mixed reduction %.3fx outside (1.8, 4)", ratio)
+	}
+	// The prediction composes per segment: halving Ta doubles nothing
+	// structurally — volume stays monotone in the process count.
+	if DaCeCommVolumeMixed(p, 4, 4) <= mx {
+		t.Error("mixed volume must grow with the process count")
+	}
+}

@@ -18,10 +18,18 @@ import (
 // ablation of Fig. 7 "without normalization": the tiny Green's-function
 // values fall below the fp16 subnormal floor and the self-consistent loop
 // converges to a visibly wrong current.
+// Atoms/ELo/EHi carry the same tile restriction as DaCe (nil/0 = full),
+// so a distributed rank can run its Ta×TE tile of the exchange in mixed
+// precision; summing restricted outputs over a partition of
+// atoms×energies reproduces the full mixed result.
 type Mixed struct {
 	// Normalize enables the dynamic normalization factors (§5.4). The
 	// paper's default; disable only for the Fig. 7 ablation.
 	Normalize bool
+	// Atoms restricts the kernel to a subset of atoms (nil = all).
+	Atoms []int
+	// ELo, EHi restrict the owned electron energy range (0, 0 = full).
+	ELo, EHi int
 }
 
 // Name implements Kernel.
@@ -80,7 +88,7 @@ func (m Mixed) Compute(in *Input) *Output {
 		denormSigma: complex(1/(sH*sH*sG*sD), 0),
 		denormPi:    complex(1/(sH*sH*sG*sG), 0),
 	}
-	out := daceCompute(qIn, q, nil)
+	out := daceCompute(qIn, q, (DaCe{Atoms: m.Atoms, ELo: m.ELo, EHi: m.EHi}).restrict(qIn))
 	// Halve the byte estimate for the quantized inputs (fp16 vs fp64),
 	// reflecting the reduced memory traffic of SSE-16 in Fig. 10.
 	out.Stats.BytesMoved -= (in.GL.Bytes() + in.GG.Bytes() + in.DL.Bytes() + in.DG.Bytes()) * 3 / 4
