@@ -13,15 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"math/cmplx"
-	"math/rand"
 	"os"
 
 	"repro/internal/comm"
 	"repro/internal/decomp"
-	"repro/internal/device"
 	"repro/internal/model"
+	"repro/internal/qt"
 	"repro/internal/sse"
-	"repro/internal/tensor"
 )
 
 func main() {
@@ -34,29 +32,19 @@ func main() {
 	ta := flag.Int("ta", 0, "atom tiles for DaCe (0 = auto)")
 	flag.Parse()
 
-	p := device.TestParams(*na, *bnum, *norb)
-	p.NE = *ne
-	p.Nomega = *nw
-	dev, err := device.Build(p)
+	dev, err := qt.Spec{
+		Atoms: *na, Slabs: *bnum, Orbitals: *norb,
+		EnergyPoints: *ne, PhononModes: *nw,
+	}.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	p := dev.P
 
 	// Synthetic Green's functions (the decomposition moves data; it does
 	// not care where it came from).
-	rng := rand.New(rand.NewSource(1))
-	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	nbp1 := dev.MaxNb() + 1
-	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
-		for i := range buf {
-			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
-		}
-	}
-	in := &sse.Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
+	in := sse.RandomInput(dev, 1)
 
 	seq := (sse.DaCe{}).Compute(in)
 

@@ -1,5 +1,5 @@
 // Command distsim runs the distributed self-consistent NEGF solver
-// (internal/dist) across a sweep of simulated MPI world sizes and
+// through the qt facade across a sweep of simulated MPI world sizes and
 // reports, per iteration, the measured communication volume of the SSE
 // exchange next to the analytic prediction of the paper's model
 // (internal/model/commvol.go) — the executable form of the scaling story
@@ -28,7 +28,8 @@
 // under the documented dist.MixedCurrentTol.
 //
 // Output formats: -format text (human tables), json, or csv — the
-// machine-readable forms feed scaling-sweep trajectories.
+// shared encoders of internal/report, keyed on the facade's unified
+// per-iteration telemetry schema.
 //
 // Example:
 //
@@ -37,65 +38,18 @@
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/decomp"
-	"repro/internal/device"
-	"repro/internal/dist"
 	"repro/internal/model"
-	"repro/internal/negf"
+	"repro/internal/qt"
+	"repro/internal/report"
 	"repro/internal/stream"
 )
-
-// scaleRow is one world size of a strong/weak sweep.
-type scaleRow struct {
-	Sweep         string  `json:"sweep"`
-	P             int     `json:"p"`
-	Ta            int     `json:"ta"`
-	TE            int     `json:"te"`
-	Precision     string  `json:"precision"`
-	Current       float64 `json:"current"`
-	SSEMeasBytes  int64   `json:"sse_meas_bytes_per_iter"`
-	SSEModelBytes int64   `json:"sse_model_bytes_per_iter"`
-	Ratio         float64 `json:"meas_over_model"`
-	ReduceBytes   int64   `json:"reduce_bytes_per_iter"`
-	WallNs        int64   `json:"wall_ns_per_iter"`
-	RelVsSeq      float64 `json:"rel_vs_sequential"` // -1 when not verified
-	// Mixed-precision comparison columns (zero under -precision fp64):
-	// the fp64 baseline's measured exchange volume at the identical
-	// decomposition, the measured fp64/mixed volume reduction, and the
-	// worst per-iteration Σ≷/Π≷ quantization deviation from the probe.
-	FP64SSEBytes int64   `json:"fp64_sse_bytes_per_iter,omitempty"`
-	VolumeRatio  float64 `json:"fp64_over_mixed_volume,omitempty"`
-	SigmaErr     float64 `json:"max_sigma_qerr,omitempty"`
-}
-
-// overlapRow is one world size of the schedule comparison.
-type overlapRow struct {
-	P              int     `json:"p"`
-	Workers        int     `json:"workers"`
-	PhasesWallNs   int64   `json:"phases_wall_ns_per_iter"`
-	OverlapWallNs  int64   `json:"overlap_wall_ns_per_iter"`
-	Speedup        float64 `json:"speedup"`
-	ComputeNs      int64   `json:"rank0_compute_ns_per_iter"`
-	CommNs         int64   `json:"rank0_comm_ns_per_iter"`
-	StreamPredGain float64 `json:"stream_pred_gain"` // predicted serial/overlapped
-	MaxRelDiff     float64 `json:"max_rel_current_diff"`
-}
-
-type report struct {
-	Strong  []scaleRow   `json:"strong,omitempty"`
-	Weak    []scaleRow   `json:"weak,omitempty"`
-	Overlap []overlapRow `json:"overlap,omitempty"`
-}
 
 func main() {
 	mode := flag.String("mode", "strong,weak", "comma-separated sweep modes: strong, weak, overlap (or all)")
@@ -113,7 +67,12 @@ func main() {
 	precFlag := flag.String("precision", "fp64", "SSE precision: fp64, or mixed (binary16 tile kernel + half-width wire payloads, with an fp64 baseline run per world size for the volume/error columns)")
 	flag.Parse()
 
-	prec, err := decomp.ParsePrecision(*precFlag)
+	prec, err := qt.ParsePrecision(*precFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
+		os.Exit(1)
+	}
+	f, err := report.ParseFormat(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "distsim:", err)
 		os.Exit(1)
@@ -136,50 +95,39 @@ func main() {
 		}
 		modes[m] = true
 	}
-	if *format != "text" && *format != "json" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "distsim: unknown format %q (want text, json, or csv)\n", *format)
-		os.Exit(1)
-	}
 	ps, err := parseRanks(*ranks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	base := device.TestParams(*na, *bnum, *norb)
-	base.Nkz = *nkz
-	base.NE = *ne
-	base.Nomega = *nw
+	spec := qt.Spec{
+		Atoms: *na, Slabs: *bnum, Orbitals: *norb,
+		MomentumPoints: *nkz, EnergyPoints: *ne, PhononModes: *nw,
+	}
 
-	var rep report
-	text := *format == "text"
+	rep := &report.Scaling{Meta: report.Meta{
+		Atoms: *na, Slabs: *bnum, Orbitals: *norb,
+		MomentumPoints: *nkz, EnergyPoints: *ne, PhononModes: *nw,
+		Iterations: *iters, Workers: *workers, Precision: prec.String(),
+	}}
 	if modes["strong"] {
-		rep.Strong = runScaleSweep("strong", base, ps, *iters, *verify, text, prec,
-			func(p device.Params, _ int) device.Params { return p })
+		rep.Strong = runScaleSweep(rep, "strong", spec, ps, *iters, *verify, prec,
+			func(s qt.Spec, _ int) qt.Spec { return s })
 	}
 	if modes["weak"] {
-		rep.Weak = runScaleSweep("weak", base, ps, *iters, false, text, prec,
-			func(p device.Params, ranks int) device.Params {
-				p.NE = base.NE * ranks
-				return p
+		rep.Weak = runScaleSweep(rep, "weak", spec, ps, *iters, false, prec,
+			func(s qt.Spec, ranks int) qt.Spec {
+				s.EnergyPoints = spec.EnergyPoints * ranks
+				return s
 			})
 	}
 	if modes["overlap"] {
-		rep.Overlap = runOverlapSweep(base, ps, *iters, *workers, text, prec)
+		rep.Overlap = runOverlapSweep(spec, ps, *iters, *workers, prec)
 	}
 
-	switch *format {
-	case "json":
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "distsim:", err)
-			os.Exit(1)
-		}
-	case "csv":
-		if err := writeCSV(os.Stdout, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "distsim:", err)
-			os.Exit(1)
-		}
+	if err := report.Write(os.Stdout, f, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
+		os.Exit(1)
 	}
 }
 
@@ -195,134 +143,95 @@ func parseRanks(s string) ([]int, error) {
 	return out, nil
 }
 
-func runDist(dev *device.Device, opts dist.Options) *dist.Result {
-	res, err := dist.Run(dev, opts)
-	if err != nil && !errors.Is(err, negf.ErrNotConverged) {
-		fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", opts.Ranks, err)
+// solve runs one facade configuration to completion and returns its
+// result (converged or capped — the sweeps measure, they do not wait
+// for convergence).
+func solve(spec qt.Spec, opts ...qt.Option) (*qt.Simulation, *qt.Result) {
+	sim, err := qt.New(spec, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
 		os.Exit(1)
 	}
-	return res
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
+		os.Exit(1)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsim:", err)
+		os.Exit(1)
+	}
+	return sim, res
 }
 
-func buildDevice(p device.Params, ranks int) *device.Device {
-	dev, err := device.Build(p)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "distsim: P=%d: %v\n", ranks, err)
-		os.Exit(1)
+// measureOpts is the shared option set of every sweep point: run all
+// iterations (we are measuring, not converging) at the requested world
+// size and precision.
+func measureOpts(p, iters int, prec qt.Precision, probe bool) []qt.Option {
+	opts := []qt.Option{
+		qt.WithRanks(p),
+		qt.WithMaxIterations(iters),
+		qt.WithTolerance(1e-300),
+		qt.WithPrecision(prec),
 	}
-	return dev
+	if probe {
+		opts = append(opts, qt.WithErrorProbe())
+	}
+	return opts
 }
 
 // runScaleSweep executes the distributed loop for every world size and
-// returns (and in text mode prints) the measured-vs-modelled rows.
-func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, verify, text bool,
-	prec dist.Precision, scale func(device.Params, int) device.Params) []scaleRow {
+// returns the measured-vs-modelled rows.
+func runScaleSweep(rep *report.Scaling, sweep string, base qt.Spec, ranks []int, iters int,
+	verify bool, prec qt.Precision, scale func(qt.Spec, int) qt.Spec) []report.ScaleRow {
 
-	mixed := prec == dist.PrecisionMixed
-	if text {
-		fmt.Printf("── %s scaling (%s) ──\n", sweep, prec)
-		fmt.Printf("   base: Na=%d bnum=%d Norb=%d Nkz=%d NE=%d Nω=%d, %d iterations\n",
-			base.Na, base.Bnum, base.Norb, base.Nkz, base.NE, base.Nomega, iters)
-		fmt.Printf("   %2s  %5s  %14s  %13s  %13s  %6s  %11s  %8s\n",
-			"P", "ta×te", "current", "SSE meas/it", "SSE model/it", "ratio", "reduce/it", "time/it")
-	}
-
-	var rows []scaleRow
+	mixed := prec == qt.Mixed
+	var rows []report.ScaleRow
 	var refCurrent float64
 	haveRef := false
-	var a2aPerIter int64
 	for _, p := range ranks {
-		dp := scale(base, p)
-		dev := buildDevice(dp, p)
-		opts := dist.DefaultOptions(p)
-		opts.MaxIter = iters
-		opts.Tol = 1e-300 // run all iterations: we are measuring, not converging
-		opts.Precision = prec
-		opts.ErrorProbe = mixed
-		res := runDist(dev, opts)
+		sp := scale(base, p)
+		sim, res := solve(sp, measureOpts(p, iters, prec, mixed)...)
 
-		var sseBytes, reduceBytes, wallNs int64
-		var qerr float64
-		for _, it := range res.IterTrace {
-			sseBytes += it.SSEBytes
-			reduceBytes += it.ReduceBytes
-			wallNs += it.WallNs
-			if it.SigmaErr > qerr {
-				qerr = it.SigmaErr
-			}
-		}
-		n := int64(len(res.IterTrace))
-		a2aPerIter = res.Comm.Collectives["Alltoallv"] / n
-		last := res.IterTrace[len(res.IterTrace)-1]
-		modelled := model.DaCeCommVolume(dev.P, opts.Ta, opts.TE)
+		agg := report.PerIter(res.Trace)
+		n := int64(len(res.Trace))
+		rep.AlltoallvPerIter = res.Comm.Collectives["Alltoallv"] / n
+		last := res.Trace[len(res.Trace)-1]
+		ta, te := sim.Tiles()
+		modelled := model.DaCeCommVolume(sim.Device.P, ta, te)
 		if mixed {
-			modelled = model.DaCeCommVolumeMixed(dev.P, opts.Ta, opts.TE)
+			modelled = model.DaCeCommVolumeMixed(sim.Device.P, ta, te)
 		}
-		row := scaleRow{
-			Sweep: sweep, P: p, Ta: opts.Ta, TE: opts.TE,
+		row := report.ScaleRow{
+			Sweep: sweep, P: p, Ta: ta, TE: te,
 			Precision:    prec.String(),
 			Current:      last.Current,
-			SSEMeasBytes: sseBytes / n, SSEModelBytes: int64(modelled),
-			Ratio:       float64(sseBytes/n) / modelled,
-			ReduceBytes: reduceBytes / n,
-			WallNs:      wallNs / n,
+			SSEMeasBytes: agg.SSEBytes, SSEModelBytes: int64(modelled),
+			Ratio:       float64(agg.SSEBytes) / modelled,
+			ReduceBytes: agg.ReduceBytes,
+			WallNs:      agg.WallNs,
 			RelVsSeq:    -1,
-			SigmaErr:    qerr,
+			SigmaErr:    agg.MaxSigmaErr,
 		}
 		if mixed {
 			// The volume column needs the fp64 baseline at the identical
 			// decomposition: run it and compare measured exchange bytes.
-			fpOpts := opts
-			fpOpts.Precision = dist.PrecisionFP64
-			fpOpts.ErrorProbe = false
-			fpRes := runDist(dev, fpOpts)
-			var fpSSE int64
-			for _, it := range fpRes.IterTrace {
-				fpSSE += it.SSEBytes
-			}
-			row.FP64SSEBytes = fpSSE / int64(len(fpRes.IterTrace))
+			_, fpRes := solve(sp, measureOpts(p, iters, qt.FP64, false)...)
+			row.FP64SSEBytes = report.PerIter(fpRes.Trace).SSEBytes
 			if row.SSEMeasBytes > 0 {
 				row.VolumeRatio = float64(row.FP64SSEBytes) / float64(row.SSEMeasBytes)
 			}
 		}
 		if verify {
 			if !haveRef {
-				refCurrent = sequentialCurrent(dev, iters)
+				_, seq := solve(sp, qt.WithMaxIterations(iters), qt.WithTolerance(1e-300))
+				refCurrent = seq.Trace[len(seq.Trace)-1].Current
 				haveRef = true
 			}
 			row.RelVsSeq = relDiff(last.Current, refCurrent)
 		}
 		rows = append(rows, row)
-		if text {
-			fmt.Printf("   %2d  %2d×%-2d  %14.6e  %13s  %13s  %6.3f  %11s  %8s\n",
-				p, opts.Ta, opts.TE, row.Current,
-				fmtBytes(row.SSEMeasBytes), fmtBytes(row.SSEModelBytes), row.Ratio,
-				fmtBytes(row.ReduceBytes), time.Duration(row.WallNs).Round(time.Millisecond))
-			if mixed && row.FP64SSEBytes > 0 {
-				fmt.Printf("       vs fp64 exchange: %s → %s per iteration (%.2fx less); max Σ qerr %.2e\n",
-					fmtBytes(row.FP64SSEBytes), fmtBytes(row.SSEMeasBytes), row.VolumeRatio, row.SigmaErr)
-			} else if mixed {
-				fmt.Printf("       vs fp64 exchange: no off-rank traffic at P=1; max Σ qerr %.2e\n", row.SigmaErr)
-			}
-			if verify {
-				tol, status := 1e-12, "ok"
-				if mixed {
-					tol = dist.MixedCurrentTol
-				}
-				if row.RelVsSeq > tol {
-					status = "MISMATCH"
-				}
-				fmt.Printf("       vs sequential fp64: rel %.2e (%s, tol %.0e)\n", row.RelVsSeq, status, tol)
-			}
-		}
-	}
-	if text {
-		fmt.Printf("   MPI collectives per iteration: %d Alltoallv measured, %d modelled (§6.1.2)\n",
-			a2aPerIter, model.DaCeMPIInvocations())
-		fmt.Println("   note: the model charges each rank its full tile halo, including the")
-		fmt.Println("   locally owned share; the runtime counts only off-rank bytes, so the")
-		fmt.Println("   measured/modelled ratio rises toward 1 as P grows.")
-		fmt.Println()
 	}
 	return rows
 }
@@ -332,127 +241,42 @@ func runScaleSweep(sweep string, base device.Params, ranks []int, iters int, ver
 // graph, compare measured per-iteration makespans, and set the result
 // against the internal/stream prediction derived from the measured
 // compute/communication split.
-func runOverlapSweep(base device.Params, ranks []int, iters, workers int, text bool, prec dist.Precision) []overlapRow {
-	if text {
-		fmt.Printf("── overlap vs phases (workers=%d, %s) ──\n", workers, prec)
-		fmt.Printf("   %2s  %10s  %10s  %7s  %12s  %9s  %9s\n",
-			"P", "phases/it", "overlap/it", "speedup", "stream pred", "comm/comp", "max rel")
-	}
-	var rows []overlapRow
+func runOverlapSweep(base qt.Spec, ranks []int, iters, workers int, prec qt.Precision) []report.OverlapRow {
+	var rows []report.OverlapRow
 	for _, p := range ranks {
-		dev := buildDevice(base, p)
+		_, pres := solve(base, measureOpts(p, iters, prec, false)...)
+		_, ores := solve(base, append(measureOpts(p, iters, prec, false),
+			qt.WithSchedule(qt.Overlap), qt.WithWorkers(workers))...)
 
-		phases := dist.DefaultOptions(p)
-		phases.MaxIter = iters
-		phases.Tol = 1e-300
-		phases.Precision = prec
-		pres := runDist(dev, phases)
-
-		overlap := phases
-		overlap.Schedule = dist.ScheduleOverlap
-		overlap.Workers = workers
-		ores := runDist(dev, overlap)
-
-		var pWall, oWall, compute, comm int64
 		maxRel := 0.0
-		for i := range ores.IterTrace {
-			pWall += pres.IterTrace[i].WallNs
-			oWall += ores.IterTrace[i].WallNs
-			compute += ores.IterTrace[i].ComputeNs
-			comm += ores.IterTrace[i].CommNs
-			if rel := relDiff(ores.IterTrace[i].Current, pres.IterTrace[i].Current); rel > maxRel {
+		for i := range ores.Trace {
+			if rel := relDiff(ores.Trace[i].Current, pres.Trace[i].Current); rel > maxRel {
 				maxRel = rel
 			}
 		}
-		n := int64(len(ores.IterTrace))
-		pWall, oWall, compute, comm = pWall/n, oWall/n, compute/n, comm/n
+		pAgg, oAgg := report.PerIter(pres.Trace), report.PerIter(ores.Trace)
 
 		// Stream-model prediction: rank 0's measured per-iteration compute
 		// spread over its points, with the measured communication share as
 		// the copy fraction; full pipelining bounds the attainable gain.
 		points := ores.Load[0].Pairs + ores.Load[0].Points
 		frac := 0.0
-		if compute > 0 {
-			frac = float64(comm) / float64(compute)
+		if oAgg.ComputeNs > 0 {
+			frac = float64(oAgg.CommNs) / float64(oAgg.ComputeNs)
 		}
-		tasks := stream.GFTaskSet(points, float64(compute)/1e9, frac)
+		tasks := stream.GFTaskSet(points, float64(oAgg.ComputeNs)/1e9, frac)
 		pred := stream.Makespan(tasks, 1) / stream.Makespan(tasks, 32)
 
-		row := overlapRow{
+		rows = append(rows, report.OverlapRow{
 			P: p, Workers: workers,
-			PhasesWallNs: pWall, OverlapWallNs: oWall,
-			Speedup:   float64(pWall) / float64(oWall),
-			ComputeNs: compute, CommNs: comm,
+			PhasesWallNs: pAgg.WallNs, OverlapWallNs: oAgg.WallNs,
+			Speedup:   float64(pAgg.WallNs) / float64(oAgg.WallNs),
+			ComputeNs: oAgg.ComputeNs, CommNs: oAgg.CommNs,
 			StreamPredGain: pred,
 			MaxRelDiff:     maxRel,
-		}
-		rows = append(rows, row)
-		if text {
-			fmt.Printf("   %2d  %10s  %10s  %6.3fx  %11.3fx  %9.3f  %9.2e\n",
-				p, time.Duration(pWall).Round(time.Millisecond),
-				time.Duration(oWall).Round(time.Millisecond),
-				row.Speedup, row.StreamPredGain, frac, maxRel)
-		}
-	}
-	if text {
-		fmt.Println("   speedup = phases/overlap makespan; stream pred = §7.1.3 pipelining bound")
-		fmt.Println("   from the measured comm/compute split; max rel = worst per-iteration")
-		fmt.Println("   current difference between the two schedules (must be ~1e-16).")
-		fmt.Println()
+		})
 	}
 	return rows
-}
-
-func writeCSV(f *os.File, rep report) error {
-	w := csv.NewWriter(f)
-	defer w.Flush()
-	if len(rep.Strong)+len(rep.Weak) > 0 {
-		if err := w.Write([]string{"sweep", "p", "ta", "te", "precision", "current",
-			"sse_meas_bytes_per_iter", "sse_model_bytes_per_iter", "meas_over_model",
-			"reduce_bytes_per_iter", "wall_ns_per_iter", "rel_vs_sequential",
-			"fp64_sse_bytes_per_iter", "fp64_over_mixed_volume", "max_sigma_qerr"}); err != nil {
-			return err
-		}
-		for _, r := range append(append([]scaleRow(nil), rep.Strong...), rep.Weak...) {
-			if err := w.Write([]string{r.Sweep, itoa(r.P), itoa(r.Ta), itoa(r.TE), r.Precision,
-				ftoa(r.Current), itoa64(r.SSEMeasBytes), itoa64(r.SSEModelBytes),
-				ftoa(r.Ratio), itoa64(r.ReduceBytes), itoa64(r.WallNs), ftoa(r.RelVsSeq),
-				itoa64(r.FP64SSEBytes), ftoa(r.VolumeRatio), ftoa(r.SigmaErr)}); err != nil {
-				return err
-			}
-		}
-	}
-	if len(rep.Overlap) > 0 {
-		if err := w.Write([]string{"p", "workers", "phases_wall_ns_per_iter",
-			"overlap_wall_ns_per_iter", "speedup", "rank0_compute_ns_per_iter",
-			"rank0_comm_ns_per_iter", "stream_pred_gain", "max_rel_current_diff"}); err != nil {
-			return err
-		}
-		for _, r := range rep.Overlap {
-			if err := w.Write([]string{itoa(r.P), itoa(r.Workers), itoa64(r.PhasesWallNs),
-				itoa64(r.OverlapWallNs), ftoa(r.Speedup), itoa64(r.ComputeNs),
-				itoa64(r.CommNs), ftoa(r.StreamPredGain), ftoa(r.MaxRelDiff)}); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func itoa(v int) string     { return strconv.Itoa(v) }
-func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
-func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-func sequentialCurrent(dev *device.Device, iters int) float64 {
-	opts := negf.DefaultOptions()
-	opts.MaxIter = iters
-	opts.Tol = 1e-300
-	s := negf.New(dev, opts)
-	if _, err := s.Run(); len(s.IterTrace) == 0 {
-		fmt.Fprintf(os.Stderr, "distsim: sequential reference failed: %v\n", err)
-		os.Exit(1)
-	}
-	return s.IterTrace[len(s.IterTrace)-1].Current
 }
 
 func relDiff(a, b float64) float64 {
@@ -468,17 +292,4 @@ func relDiff(a, b float64) float64 {
 		return d
 	}
 	return d / m
-}
-
-func fmtBytes(b int64) string {
-	switch {
-	case b >= 1<<30:
-		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
-	case b >= 1<<20:
-		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
-	case b >= 1<<10:
-		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
-	default:
-		return fmt.Sprintf("%d B", b)
-	}
 }

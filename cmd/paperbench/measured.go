@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,10 +14,10 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/negf"
+	"repro/internal/qt"
 	"repro/internal/sparse"
 	"repro/internal/sse"
 	"repro/internal/stream"
-	"repro/internal/tensor"
 )
 
 // timeIt runs f repeatedly until ~80 ms elapse and returns the per-call time.
@@ -31,17 +32,46 @@ func timeIt(f func()) time.Duration {
 	return time.Since(start) / time.Duration(n)
 }
 
+// measuredSpec is the scaled-down structure used by the measured tables.
+func measuredSpec(quick bool) qt.Spec {
+	spec := qt.Spec{Atoms: 24, Slabs: 4, Orbitals: 3, EnergyPoints: 24, PhononModes: 4}
+	if quick {
+		spec = qt.Spec{Atoms: 12, Slabs: 3, Orbitals: 2, EnergyPoints: 12, PhononModes: 3}
+	}
+	return spec
+}
+
 // measuredDevice builds the scaled-down device used by the measured tables.
 func measuredDevice(quick bool) *device.Device {
-	p := device.TestParams(24, 4, 3)
-	p.NE = 24
-	p.Nomega = 4
-	if quick {
-		p = device.TestParams(12, 3, 2)
-		p.NE = 12
-		p.Nomega = 3
+	dev, err := measuredSpec(quick).Build()
+	if err != nil {
+		panic(err)
 	}
-	return device.MustBuild(p)
+	return dev
+}
+
+// facadeTrace runs one facade configuration for a fixed iteration count
+// and returns the per-iteration currents.
+func facadeTrace(spec qt.Spec, iters int, opts ...qt.Option) []float64 {
+	sim, err := qt.New(spec, append([]qt.Option{
+		qt.WithMaxIterations(iters), qt.WithTolerance(1e-300),
+	}, opts...)...)
+	if err != nil {
+		panic(err)
+	}
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		panic(err)
+	}
+	tr := make([]float64, len(res.Trace))
+	for i, it := range res.Trace {
+		tr[i] = it.Current
+	}
+	return tr
 }
 
 // runTable6 — CUDA-stream sweep (discrete-event model of the GF pipeline).
@@ -211,19 +241,7 @@ func runTable10(quick bool) {
 func runCommMeasured(quick bool) {
 	header("Measured SSE Communication (simulated MPI, scaled-down device)")
 	dev := measuredDevice(quick)
-	p := dev.P
-	rng := rand.New(rand.NewSource(42))
-	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	nbp1 := dev.MaxNb() + 1
-	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
-		for i := range buf {
-			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
-		}
-	}
-	in := &sse.Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
+	in := sse.RandomInput(dev, 42)
 
 	row("Ranks", "OMEN bytes", "OMEN calls", "DaCe bytes", "DaCe a2a", "reduction")
 	for _, ranks := range []int{2, 4, 8} {
@@ -286,38 +304,19 @@ func (u unitsScaled) Compute(in *sse.Input) *sse.Output {
 // runFigure7 — mixed-precision SSE distribution and convergence.
 func runFigure7(quick bool) {
 	header("Figure 7: Double- vs Half-Precision SSE")
-	p := device.TestParams(16, 4, 2)
-	p.NE = 20
-	p.Nomega = 3
-	p.Coupling = 0.12
+	spec := qt.Spec{Atoms: 16, Slabs: 4, Orbitals: 2, EnergyPoints: 20, PhononModes: 3, Coupling: 0.12}
 	if quick {
-		p = device.TestParams(12, 3, 2)
-		p.NE = 12
-		p.Nomega = 3
+		spec = qt.Spec{Atoms: 12, Slabs: 3, Orbitals: 2, EnergyPoints: 12, PhononModes: 3, Coupling: 0.12}
 	}
 	iters := 14
 
-	run := func(k sse.Kernel) []float64 {
-		dev := device.MustBuild(p)
-		opts := negf.DefaultOptions()
-		opts.Kernel = k
-		opts.MaxIter = iters
-		opts.Tol = 0 // run all iterations for the trajectory
-		s := negf.New(dev, opts)
-		_, _ = s.Run()
-		tr := make([]float64, len(s.IterTrace))
-		for i, it := range s.IterTrace {
-			tr[i] = it.Current
-		}
-		return tr
-	}
 	// All three variants see inputs at the production unit scale (~1e-8
 	// of our synthetic magnitudes) so the fp16 dynamic-range effects of
 	// §5.4 are exercised exactly as in the paper.
 	const units = 1e-7
-	ref := run(unitsScaled{sse.DaCe{}, units})
-	norm := run(unitsScaled{sse.Mixed{Normalize: true}, units})
-	raw := run(unitsScaled{sse.Mixed{Normalize: false}, units})
+	ref := facadeTrace(spec, iters, qt.WithSSEKernel(unitsScaled{sse.DaCe{}, units}))
+	norm := facadeTrace(spec, iters, qt.WithSSEKernel(unitsScaled{sse.Mixed{Normalize: true}, units}))
+	raw := facadeTrace(spec, iters, qt.WithSSEKernel(unitsScaled{sse.Mixed{Normalize: false}, units}))
 
 	fmt.Println("(b) Convergence of the electronic current (a.u.):")
 	row("Iter", "64-bit", "16-bit norm.", "16-bit unnorm.", "rel.err norm", "rel.err unnorm")
@@ -335,7 +334,10 @@ func runFigure7(quick bool) {
 		math.Abs(raw[last]-ref[last])/math.Abs(ref[last]))
 
 	// (a) Output distribution: magnitude range of Σ< values per variant.
-	dev := device.MustBuild(p)
+	dev, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
 	s := negf.New(dev, negf.DefaultOptions())
 	if err := s.GFPhase(); err != nil {
 		panic(err)
@@ -369,23 +371,26 @@ func runFigure7(quick bool) {
 // runFigure11 — electro-thermal observables of a converged simulation.
 func runFigure11(quick bool) {
 	header("Figure 11: Electro-Thermal Simulation of the FinFET (measured)")
-	p := device.TestParams(24, 6, 2)
-	p.NE = 24
-	p.Nomega = 4
-	p.Coupling = 0.12
+	spec := qt.Spec{Atoms: 24, Slabs: 6, Orbitals: 2, EnergyPoints: 24, PhononModes: 4, Coupling: 0.12}
 	if quick {
-		p = device.TestParams(16, 4, 2)
-		p.NE = 16
-		p.Nomega = 3
+		spec = qt.Spec{Atoms: 16, Slabs: 4, Orbitals: 2, EnergyPoints: 16, PhononModes: 3, Coupling: 0.12}
 	}
-	dev := device.MustBuild(p)
-	opts := negf.DefaultOptions()
-	opts.MaxIter = 20
-	s := negf.New(dev, opts)
-	obs, err := s.Run()
+	sim, err := qt.New(spec, qt.WithMaxIterations(20))
 	if err != nil {
-		fmt.Printf("(loop: %v)\n", err)
+		panic(err)
 	}
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		panic(err)
+	}
+	if !res.Converged {
+		fmt.Printf("(loop: not converged after %d iterations)\n", res.Iterations)
+	}
+	dev, obs := sim.Device, res.Observables
 
 	fmt.Printf("contact currents: IL=%.6g IR=%.6g (conservation: %.1e)\n",
 		obs.CurrentL, obs.CurrentR, math.Abs(obs.CurrentL+obs.CurrentR)/math.Abs(obs.CurrentL))

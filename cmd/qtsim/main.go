@@ -1,25 +1,30 @@
 // Command qtsim runs a complete self-consistent electro-thermal quantum
-// transport simulation (GF ↔ SSE to convergence) on a synthetic FinFET
-// slice and reports the physical observables of Fig. 11: contact and
+// transport simulation (GF ↔ SSE to convergence) through the qt facade
+// and reports the physical observables of Fig. 11: contact and
 // interface currents, energy currents, dissipated power, and the
 // atomically resolved lattice temperature.
+//
+// The solver matrix is fully reachable: -ranks 0 runs the sequential
+// solver, -ranks P the distributed one (with -schedule phases|overlap),
+// and -kernel selects the SSE variant. -format text|json|csv selects
+// the report encoding (the machine-readable forms share the distsim
+// schema via internal/report).
 //
 // Example:
 //
 //	qtsim -na 24 -bnum 6 -norb 2 -ne 24 -nw 4 -vds 0.3 -coupling 0.12
+//	qtsim -ranks 4 -schedule overlap -format json
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"time"
 
-	"repro/internal/device"
-	"repro/internal/negf"
-	"repro/internal/sse"
+	"repro/internal/qt"
+	"repro/internal/report"
 )
 
 func main() {
@@ -34,86 +39,87 @@ func main() {
 	coupling := flag.Float64("coupling", 0.12, "electron-phonon coupling strength")
 	kernel := flag.String("kernel", "dace", "SSE kernel: omen | dace | mixed")
 	iters := flag.Int("maxiter", 25, "maximum self-consistent iterations")
+	tol := flag.Float64("tol", 1e-5, "relative current change at convergence")
 	seed := flag.Uint64("seed", 0x5eed, "structure seed")
+	ranks := flag.Int("ranks", 0, "simulated MPI world size (0 = sequential solver)")
+	schedule := flag.String("schedule", "phases", "distributed schedule: phases | overlap")
+	format := flag.String("format", "text", "output format: text, json, or csv")
 	flag.Parse()
 
-	p := device.TestParams(*na, *bnum, *norb)
-	p.Nkz = *nkz
-	p.NE = *ne
-	p.Nomega = *nw
-	p.Vds = *vds
-	p.TC = *tc
-	p.Coupling = *coupling
-	p.Seed = *seed
-	if err := p.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	dev, err := device.Build(p)
+	f, err := report.ParseFormat(*format)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	opts := negf.DefaultOptions()
-	opts.MaxIter = *iters
-	switch *kernel {
-	case "omen":
-		opts.Kernel = sse.OMEN{}
-	case "dace":
-		opts.Kernel = sse.DaCe{}
-	case "mixed":
-		opts.Kernel = sse.Mixed{Normalize: true}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
 		os.Exit(2)
 	}
 
-	fmt.Printf("device: Na=%d bnum=%d Norb=%d Nb<=%d | grid: Nkz=%d NE=%d Nω=%d | Vds=%.2f V, T=%g K\n",
-		p.Na, p.Bnum, p.Norb, dev.MaxNb(), p.Nkz, p.NE, p.Nomega, p.Vds, p.TC)
-	fmt.Printf("kernel: %s\n\n", opts.Kernel.Name())
+	spec := qt.Spec{
+		Atoms: *na, Slabs: *bnum, Orbitals: *norb,
+		MomentumPoints: *nkz, EnergyPoints: *ne, PhononModes: *nw,
+		Temperature: *tc, Coupling: *coupling, Seed: *seed,
+	}
+	opts := []qt.Option{
+		qt.WithBias(*vds),
+		qt.WithMaxIterations(*iters),
+		qt.WithTolerance(*tol),
+	}
+	switch *kernel {
+	case "dace":
+	case "omen":
+		opts = append(opts, qt.WithKernel(qt.Baseline))
+	case "mixed":
+		opts = append(opts, qt.WithPrecision(qt.Mixed))
+	default:
+		fmt.Fprintf(os.Stderr, "qtsim: unknown kernel %q (want omen, dace, or mixed)\n", *kernel)
+		os.Exit(2)
+	}
+	if *ranks > 0 {
+		opts = append(opts, qt.WithRanks(*ranks))
+		switch *schedule {
+		case "phases":
+		case "overlap":
+			opts = append(opts, qt.WithSchedule(qt.Overlap))
+		default:
+			fmt.Fprintf(os.Stderr, "qtsim: unknown schedule %q (want phases or overlap)\n", *schedule)
+			os.Exit(2)
+		}
+	}
+
+	sim, err := qt.New(spec, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
+		os.Exit(2)
+	}
 
 	start := time.Now()
-	s := negf.New(dev, opts)
-	obs, err := s.Run()
-	elapsed := time.Since(start)
-	switch {
-	case err == nil:
-		fmt.Printf("converged in %d iterations (%.2fs)\n", len(s.IterTrace), elapsed.Seconds())
-	case errors.Is(err, negf.ErrNotConverged):
-		fmt.Printf("NOT converged after %d iterations (%.2fs)\n", len(s.IterTrace), elapsed.Seconds())
-	default:
-		fmt.Fprintln(os.Stderr, err)
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
+		os.Exit(1)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Println("\nconvergence trace (current, relative change):")
-	for _, it := range s.IterTrace {
-		fmt.Printf("  iter %2d: I = %.8g   Δ = %.2e   (SSE matmuls %d)\n",
-			it.Iter+1, it.Current, it.RelChange, it.SSEStats.MatMuls)
+	rep := report.NewRun(sim, res, *kernel, time.Since(start).Nanoseconds())
+	if *ranks > 0 {
+		rep.Schedule = *schedule
 	}
-
-	fmt.Printf("\ncontact currents:   IL = %.6g, IR = %.6g  (balance %.1e)\n",
-		obs.CurrentL, obs.CurrentR, math.Abs(obs.CurrentL+obs.CurrentR)/math.Abs(obs.CurrentL))
-	fmt.Printf("energy currents:    source %.6g (electron), %.6g (phonon)\n",
-		obs.EnergyCurrentL, obs.PhononEnergyCurrentL)
-	fmt.Printf("energy balance:     electron loss %.6g vs phonon gain %.6g\n",
-		obs.ElectronEnergyLoss, obs.PhononEnergyGain)
-
-	fmt.Println("\nprofile along transport direction:")
-	fmt.Printf("  %-6s %-12s %-12s %-12s %-12s\n", "slab", "I(el)", "JE(el)", "JQ(ph)", "T [K]")
-	temps := obs.SlabTemperature(dev)
-	for i := 0; i < p.Bnum; i++ {
-		ic, je, jq := "-", "-", "-"
-		if i < len(obs.InterfaceCurrent) {
-			ic = fmt.Sprintf("%.5g", obs.InterfaceCurrent[i])
-			je = fmt.Sprintf("%.5g", obs.InterfaceEnergyCurrent[i])
-			jq = fmt.Sprintf("%.5g", obs.PhononInterfaceEnergy[i])
-		}
-		fmt.Printf("  %-6d %-12s %-12s %-12s %-12.1f\n", i, ic, je, jq, temps[i])
+	if err := report.Write(os.Stdout, f, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
+		os.Exit(1)
 	}
+	if f == report.Text {
+		printPanels(sim, res)
+	}
+}
 
-	fmt.Println("\nlocal density of states (rows = E descending, cols = slabs; '#' ∝ weight):")
+// printPanels renders the text-only ASCII panels: the local density of
+// states and the atomic temperature map.
+func printPanels(sim *qt.Simulation, res *qt.Result) {
+	obs := res.Observables
+	p := sim.Device.P
 	var dosMax float64
 	for _, dos := range obs.LDOS {
 		for _, v := range dos {
@@ -122,25 +128,33 @@ func main() {
 			}
 		}
 	}
-	for n := p.NE - 1; n >= 0; n-- {
-		fmt.Printf("  E=%+5.2f ", p.Energy(n))
-		for i := 0; i < p.Bnum; i++ {
-			c := " "
-			switch w := obs.LDOS[i][n] / dosMax; {
-			case w > 0.6:
-				c = "#"
-			case w > 0.25:
-				c = "+"
-			case w > 0.05:
-				c = "."
+	// The LDOS is a single-node diagnostic the distributed solver does
+	// not aggregate; print it only when it was computed.
+	if len(obs.LDOS) >= p.Bnum && dosMax > 0 {
+		fmt.Println("\nlocal density of states (rows = E descending, cols = slabs; '#' ∝ weight):")
+		for n := p.NE - 1; n >= 0; n-- {
+			fmt.Printf("  E=%+5.2f ", p.Energy(n))
+			for i := 0; i < p.Bnum; i++ {
+				c := " "
+				switch w := obs.LDOS[i][n] / dosMax; {
+				case w > 0.6:
+					c = "#"
+				case w > 0.25:
+					c = "+"
+				case w > 0.05:
+					c = "."
+				}
+				fmt.Print(c)
 			}
-			fmt.Print(c)
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
-	fmt.Println("\natomic temperature map (x = slab, y = row):")
 	rows := p.AtomsPerSlab()
+	if len(obs.AtomTemperature) < rows*p.Bnum {
+		return
+	}
+	fmt.Println("\natomic temperature map (x = slab, y = row):")
 	for r := rows - 1; r >= 0; r-- {
 		for sInd := 0; sInd < p.Bnum; sInd++ {
 			fmt.Printf(" %5.0f", obs.AtomTemperature[sInd*rows+r])

@@ -1,16 +1,18 @@
 // Mixedprecision: the §5.4 / Fig. 7 experiment — run the self-consistent
 // loop with the SSE phase in emulated half precision, with and without the
 // dynamic normalization factors, and compare the convergence of the
-// electronic current against the double-precision reference.
+// electronic current against the double-precision reference. All three
+// trajectories run through the qt facade; the kernel wrapping uses the
+// WithSSEKernel escape hatch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/device"
-	"repro/internal/negf"
+	"repro/internal/qt"
 	"repro/internal/sse"
 )
 
@@ -45,25 +47,32 @@ func (u unitsScaled) Compute(in *sse.Input) *sse.Output {
 }
 
 func main() {
-	params := device.TestParams(16, 4, 2)
-	params.NE = 20
-	params.Nomega = 3
-	params.Coupling = 0.12
+	spec := qt.Spec{
+		Atoms: 16, Slabs: 4, Orbitals: 2,
+		EnergyPoints: 20, PhononModes: 3,
+		Coupling: 0.12,
+	}
 	const iters = 12
 
 	run := func(k sse.Kernel) []float64 {
-		dev, err := device.Build(params)
+		sim, err := qt.New(spec,
+			qt.WithSSEKernel(k),
+			qt.WithMaxIterations(iters),
+			qt.WithTolerance(1e-300), // fixed iteration count for comparable trajectories
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := negf.DefaultOptions()
-		opts.Kernel = k
-		opts.MaxIter = iters
-		opts.Tol = 0 // fixed iteration count for comparable trajectories
-		s := negf.New(dev, opts)
-		_, _ = s.Run() // ErrNotConverged expected with Tol = 0
-		out := make([]float64, len(s.IterTrace))
-		for i, it := range s.IterTrace {
+		r, err := sim.Start(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := r.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make([]float64, len(res.Trace))
+		for i, it := range res.Trace {
 			out[i] = it.Current
 		}
 		return out

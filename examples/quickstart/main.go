@@ -1,36 +1,48 @@
-// Quickstart: build a synthetic nano-device, solve the ballistic Green's
-// functions once, and print the current-voltage behaviour — the minimal
-// end-to-end use of the library.
+// Quickstart: the canonical use of the qt facade — a complete
+// self-consistent electro-thermal simulation is three lines:
+//
+//	sim, _ := qt.New(qt.Spec{Atoms: 24, Slabs: 6, Orbitals: 2})
+//	run, _ := sim.Start(context.Background())
+//	res, _ := run.Wait()
+//
+// Everything else — the ballistic limit, per-iteration telemetry, and
+// the I-V sweep driver — hangs off the same two types.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/device"
-	"repro/internal/negf"
+	"repro/internal/qt"
 )
 
 func main() {
-	// A 24-atom FinFET slice: 6 slabs of 4 atoms, 2 orbitals per atom.
-	params := device.TestParams(24, 6, 2)
-	params.Vds = 0.3 // 0.3 V drain-source bias
+	ctx := context.Background()
 
-	dev, err := device.Build(params)
+	// A 24-atom FinFET slice: 6 slabs of 4 atoms, 2 orbitals per atom.
+	sim, err := qt.New(qt.Spec{Atoms: 24, Slabs: 6, Orbitals: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("built device: %d atoms, %d slabs, block size %d, up to %d neighbours/atom\n",
-		params.Na, params.Bnum, params.ElBlockSize(), dev.MaxNb())
-
-	// One GF phase with zero scattering self-energies = ballistic limit.
-	solver := negf.New(dev, negf.DefaultOptions())
-	if err := solver.GFPhase(); err != nil {
+	run, err := sim.Start(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
-	obs := solver.Obs
+	res, err := run.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-consistent solve: converged=%v in %d iterations\n", res.Converged, res.Iterations)
+	fmt.Printf("  current: %.6g (a.u.), hottest slab: %.1f K at slab %d\n",
+		res.Current, res.MaxTemperature, res.HotSpot)
 
-	fmt.Printf("\nballistic transport at Vds = %.2f V:\n", params.Vds)
+	// One GF phase with zero scattering self-energies = ballistic limit.
+	obs, err := sim.Ballistic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nballistic transport at Vds = %.2f V:\n", sim.Spec.Bias)
 	fmt.Printf("  source current:  %.6g (a.u.)\n", obs.CurrentL)
 	fmt.Printf("  drain current:   %.6g (conservation: sum %.2e)\n",
 		obs.CurrentR, obs.CurrentL+obs.CurrentR)
@@ -41,16 +53,18 @@ func main() {
 		fmt.Printf("  interface %d: %.6g\n", i, j)
 	}
 
-	// A small I-V sweep.
-	fmt.Println("\nI-V characteristic:")
-	for _, v := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		p := params
-		p.Vds = v
-		d := device.MustBuild(p)
-		s := negf.New(d, negf.DefaultOptions())
-		if err := s.GFPhase(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  Vds = %.1f V  ->  I = %.6g\n", v, s.Obs.CurrentL)
+	// An I-V characteristic through the Sweep driver: one spec fanned
+	// across the bias axis (a smaller structure keeps the sweep quick).
+	fmt.Println("\nI-V characteristic (self-consistent, 5 iterations/point):")
+	points, err := qt.Sweep{
+		Spec:    qt.Spec{Atoms: 16, Slabs: 4, Orbitals: 2, EnergyPoints: 16, PhononModes: 3},
+		Options: []qt.Option{qt.WithMaxIterations(5)},
+		Bias:    []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5},
+	}.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range points {
+		fmt.Printf("  Vds = %.1f V  ->  I = %.6g\n", pt.Bias, pt.Result.Current)
 	}
 }

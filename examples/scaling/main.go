@@ -9,26 +9,25 @@ import (
 	"fmt"
 	"log"
 	"math/cmplx"
-	"math/rand"
 
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/device"
 	"repro/internal/model"
+	"repro/internal/qt"
 	"repro/internal/sse"
-	"repro/internal/tensor"
 )
 
 func main() {
-	params := device.TestParams(24, 4, 2)
-	params.NE = 16
-	params.Nomega = 4
-	dev, err := device.Build(params)
+	dev, err := qt.Spec{
+		Atoms: 24, Slabs: 4, Orbitals: 2,
+		EnergyPoints: 16, PhononModes: 4,
+	}.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	in := synthesizeGreens(dev)
+	in := sse.RandomInput(dev, 11)
 	reference := (sse.DaCe{}).Compute(in)
 
 	fmt.Println("distributed SSE: measured bytes on the simulated fabric")
@@ -62,20 +61,4 @@ func main() {
 	p := device.Small(7)
 	fmt.Printf("\nMPI invocations per iteration: OMEN %d vs DaCe %d (constant)\n",
 		model.OMENMPIInvocations(p, p.NE), model.DaCeMPIInvocations())
-}
-
-func synthesizeGreens(dev *device.Device) *sse.Input {
-	p := dev.P
-	rng := rand.New(rand.NewSource(11))
-	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
-	nbp1 := dev.MaxNb() + 1
-	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
-	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
-		for i := range buf {
-			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
-		}
-	}
-	return &sse.Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
 }

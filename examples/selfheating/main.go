@@ -3,39 +3,49 @@
 // electron-phonon scattering, showing Joule heating inside the channel,
 // the electron/phonon energy-current exchange, and the energy-conservation
 // check that validates the coupled GF+SSE implementation (§8.1).
+//
+// The run executes through the qt facade with the per-iteration
+// telemetry stream consumed live — the convergence trace prints while
+// the solver works.
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/device"
-	"repro/internal/negf"
+	"repro/internal/qt"
 )
 
 func main() {
-	params := device.TestParams(24, 6, 2)
-	params.NE = 24
-	params.Nomega = 4
-	params.Vds = 0.4
-	params.Coupling = 0.12 // strong electron-phonon coupling: visible heating
-
-	dev, err := device.Build(params)
+	sim, err := qt.New(qt.Spec{
+		Atoms: 24, Slabs: 6, Orbitals: 2,
+		EnergyPoints: 24, PhononModes: 4,
+		Bias:     0.4,
+		Coupling: 0.12, // strong electron-phonon coupling: visible heating
+	}, qt.WithMaxIterations(20))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	opts := negf.DefaultOptions()
-	opts.MaxIter = 20
-	solver := negf.New(dev, opts)
-	obs, err := solver.Run()
-	if err != nil && !errors.Is(err, negf.ErrNotConverged) {
+	run, err := sim.Start(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("self-consistent Born loop: %d iterations, final Δ = %.2e\n",
-		len(solver.IterTrace), solver.IterTrace[len(solver.IterTrace)-1].RelChange)
+	// The telemetry stream delivers one unified IterStats per iteration
+	// while the solver runs.
+	fmt.Println("self-consistent Born loop (streamed):")
+	for it := range run.Stats() {
+		fmt.Printf("  iter %2d: I = %.8g   Δ = %.2e\n", it.Iter+1, it.Current, it.Residual)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := res.Observables
+	fmt.Printf("converged=%v after %d iterations, final Δ = %.2e\n",
+		res.Converged, res.Iterations, res.Trace[len(res.Trace)-1].Residual)
 
 	// §8.1: "As their sum is constant over the entire FinFET axis x, it
 	// can be inferred that energy is conserved and that the GF+SSE model
@@ -55,19 +65,16 @@ func main() {
 	// field is strongest, and decays toward the contacts that absorb the
 	// heat (Fig. 1d).
 	fmt.Println("\nlattice temperature along the channel:")
-	temps := obs.SlabTemperature(dev)
-	tMax, xMax := 0.0, 0
-	for i, t := range temps {
-		bar := int((t - params.TC) * 2)
+	tc := sim.Spec.Temperature
+	for i, t := range obs.SlabTemperature(sim.Device) {
+		bar := int((t - tc) * 2)
 		if bar < 0 {
 			bar = 0
 		}
 		fmt.Printf("  slab %d: %6.1f K %s\n", i, t, stars(bar))
-		if t > tMax {
-			tMax, xMax = t, i
-		}
 	}
-	fmt.Printf("hot spot: %.1f K at slab %d (contacts held at %.0f K)\n", tMax, xMax, params.TC)
+	fmt.Printf("hot spot: %.1f K at slab %d (contacts held at %.0f K)\n",
+		res.MaxTemperature, res.HotSpot, tc)
 
 	fmt.Println("\ndissipated power per slab (P_diss of Fig. 11):")
 	for i, p := range obs.DissipatedPower {
@@ -85,7 +92,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("  E = %+0.2f eV: %-40s %.4g\n",
-			params.Energy(ie), stars(int(30*math.Abs(j)/jMax)), j)
+			sim.Device.P.Energy(ie), stars(int(30*math.Abs(j)/jMax)), j)
 	}
 }
 

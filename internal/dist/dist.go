@@ -118,6 +118,16 @@ type Options struct {
 	// deviation into IterStats.SigmaErr — per-iteration quantization
 	// telemetry at the cost of doubling the tile compute.
 	ErrorProbe bool
+	// Progress, when non-nil, is invoked on rank 0 after every
+	// self-consistent iteration with that iteration's stats — the
+	// cancel/telemetry hook the qt facade threads a context and its
+	// streaming through. A non-nil return requests cancellation: a rank
+	// cannot abandon the collectives unilaterally, so the request is
+	// agreed by all ranks at the start of the next iteration (one scalar
+	// Allreduce, paid only when the hook is installed and accounted in
+	// IterStats.ReduceBytes) and Run returns the hook's error alongside
+	// the partial result. Both schedules honour it.
+	Progress func(IterStats) error
 }
 
 // DefaultOptions returns the distributed counterpart of
@@ -132,6 +142,13 @@ func DefaultOptions(ranks int) Options {
 		MaxIter:   25,
 		Tol:       1e-5,
 	}
+}
+
+// Validate reports whether the options describe a runnable
+// configuration, without running it — the facade's pre-flight check.
+func (o Options) Validate() error {
+	_, err := o.normalize()
+	return err
 }
 
 // normalize fills defaults and validates the tile split.
@@ -227,6 +244,10 @@ type Result struct {
 	Comm comm.Stats
 	// Load is the per-rank work distribution.
 	Load []RankLoad
+
+	// stopErr records a Progress-hook cancellation (rank 0 writes it
+	// before World.Run returns, which orders the access).
+	stopErr error
 }
 
 // Run executes the distributed self-consistent loop on a fresh P-rank
@@ -248,6 +269,9 @@ func Run(dev *device.Device, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Comm = w.Stats()
+	if res.stopErr != nil {
+		return res, res.stopErr
+	}
 	if !res.Converged {
 		return res, negf.ErrNotConverged
 	}

@@ -29,9 +29,16 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 	phRes := make([]*negf.PhononPointResult, len(rs.points))
 
 	var global *partialObs
+	var stopErr error
 	prev := math.NaN()
 	converged := false
 	for it := 0; it < opts.MaxIter; it++ {
+		// Cancellation agreement rides its own blocking collective before
+		// the graph is built: every rank reaches it between iterations, so
+		// a cancelled run never leaves a peer parked in an exchange wait.
+		if opts.Progress != nil && agreeStop(c, stopErr) {
+			break
+		}
 		// Graph construction is part of the overlapped schedule's
 		// per-iteration cost: keep it inside the timed window so the
 		// phases-vs-overlap makespan comparison stays fair.
@@ -60,7 +67,7 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 		cur := global.currentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
 		if r == 0 {
-			res.IterTrace = append(res.IterTrace, IterStats{
+			iterSt := IterStats{
 				Iter: it, Current: cur, RelChange: rel,
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
@@ -69,7 +76,11 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 				WallNs:    wall.Nanoseconds(),
 				ComputeNs: tr.Busy(g, sdfg.Compute).Nanoseconds(),
 				CommNs:    tr.Busy(g, sdfg.Comm).Nanoseconds(),
-			})
+			}
+			res.IterTrace = append(res.IterTrace, iterSt)
+			if opts.Progress != nil && stopErr == nil {
+				stopErr = opts.Progress(iterSt)
+			}
 		}
 		if it > 0 && rel < opts.Tol {
 			converged = true
@@ -78,6 +89,9 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 		prev = cur
 	}
 
+	if r == 0 {
+		res.stopErr = stopErr
+	}
 	rs.epilogue(opts, res, converged, global)
 	return nil
 }
@@ -340,7 +354,7 @@ func (rs *rankState) buildIterationGraph(opts Options, st *iterRun, elRes []*neg
 				st.part.flag = 1
 			}
 			st.part.sseB = float64(st.plan.OffRankBytes())
-			st.part.redB = reduceShare(c, vecLen(p))
+			st.part.redB = reduceShare(c, vecLen(p)) + agreeShare(c, opts)
 			st.reqObs = c.IAllreduce(decomp.SlotObs, st.part.pack())
 			return nil
 		},

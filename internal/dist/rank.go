@@ -140,9 +140,13 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 	rs := newRankState(c, dev, opts)
 	r := c.Rank()
 	var global *partialObs
+	var stopErr error
 	prev := math.NaN()
 	converged := false
 	for it := 0; it < opts.MaxIter; it++ {
+		if opts.Progress != nil && agreeStop(c, stopErr) {
+			break
+		}
 		iterStart := time.Now()
 		// ── GF phase: RGF solves for the owned shard only. No traffic.
 		part, err := solveShard(rs.ps, rs.hams, rs.dyns, rs.pairs, rs.points, rs.dos, rs.occ)
@@ -181,7 +185,7 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		rs.mixSigma(out, opts.Mixing)
 		rs.mixPi(out, opts.Mixing)
 		part.sseB = float64(pl.OffRankBytes())
-		part.redB = reduceShare(c, vecLen(dev.P))
+		part.redB = reduceShare(c, vecLen(dev.P)) + agreeShare(c, opts)
 		// Precision telemetry: the global deviation is the worst rank's,
 		// so it rides a max-reduction, not the summed observable vector.
 		var qerr float64
@@ -196,14 +200,18 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		cur := global.currentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
 		if r == 0 {
-			res.IterTrace = append(res.IterTrace, IterStats{
+			st := IterStats{
 				Iter: it, Current: cur, RelChange: rel,
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
 				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
 				SigmaErr: qerr,
 				WallNs:   time.Since(iterStart).Nanoseconds(),
-			})
+			}
+			res.IterTrace = append(res.IterTrace, st)
+			if opts.Progress != nil && stopErr == nil {
+				stopErr = opts.Progress(st)
+			}
 		}
 		if it > 0 && rel < opts.Tol {
 			converged = true
@@ -212,8 +220,36 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		prev = cur
 	}
 
+	if r == 0 {
+		res.stopErr = stopErr
+	}
 	rs.epilogue(opts, res, converged, global)
 	return nil
+}
+
+// agreeStop is the cancellation agreement of the Progress hook: every
+// rank contributes whether it carries a pending stop request (only
+// rank 0 ever does — the hook runs there) and the reduced flag gives
+// all ranks the identical break decision, so nobody abandons a peer in
+// a collective. It costs one scalar Allreduce per iteration and runs
+// only when a hook is installed.
+func agreeStop(c *comm.Comm, stopErr error) bool {
+	var flag complex128
+	if stopErr != nil {
+		flag = 1
+	}
+	return real(c.Allreduce([]complex128{flag})[0]) != 0
+}
+
+// agreeShare is this rank's contribution to the iteration's
+// cancellation-agreement Allreduce — zero when no Progress hook is
+// installed (the collective does not run), so IterStats.ReduceBytes
+// keeps summing to what the comm layer measures either way.
+func agreeShare(c *comm.Comm, opts Options) float64 {
+	if opts.Progress == nil {
+		return 0
+	}
+	return reduceShare(c, 1)
 }
 
 // reduceProbe turns per-rank tile probe numbers into the global relative

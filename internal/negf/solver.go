@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bc"
 	"repro/internal/device"
@@ -31,6 +32,12 @@ type Options struct {
 	// self-consistency iteration instead of plain linear mixing — an
 	// extension beyond the paper's solver (see anderson.go).
 	Anderson bool
+	// Progress, when non-nil, is called after every self-consistent
+	// iteration with that iteration's stats — the cancel/telemetry hook
+	// the qt facade threads a context and its streaming through.
+	// Returning a non-nil error stops the loop between iterations; Run
+	// returns that error (wrapped) alongside the partial observables.
+	Progress func(IterStats) error
 }
 
 // DefaultOptions returns the settings used by the examples and tests.
@@ -70,6 +77,10 @@ type IterStats struct {
 	SSEStats     sse.Stats
 	ElEnergyLoss float64 // R_e: electron energy lost to the lattice
 	PhEnergyGain float64 // R_ph: energy absorbed by the phonon bath
+	// WallNs is the measured wall time of this iteration (GF + SSE),
+	// the sequential counterpart of the distributed per-iteration
+	// makespan.
+	WallNs int64
 }
 
 // New allocates a solver for dev.
@@ -97,6 +108,7 @@ var ErrNotConverged = errors.New("negf: self-consistent loop did not converge")
 func (s *Solver) Run() (*Observables, error) {
 	prev := math.NaN()
 	for it := 0; it < s.Opts.MaxIter; it++ {
+		iterStart := time.Now()
 		if err := s.GFPhase(); err != nil {
 			return nil, fmt.Errorf("negf: GF phase (iteration %d): %w", it, err)
 		}
@@ -104,10 +116,17 @@ func (s *Solver) Run() (*Observables, error) {
 
 		cur := s.Obs.CurrentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
-		s.IterTrace = append(s.IterTrace, IterStats{
+		st := IterStats{
 			Iter: it, Current: cur, RelChange: rel, SSEStats: stats,
 			ElEnergyLoss: s.Obs.ElectronEnergyLoss, PhEnergyGain: s.Obs.PhononEnergyGain,
-		})
+			WallNs: time.Since(iterStart).Nanoseconds(),
+		}
+		s.IterTrace = append(s.IterTrace, st)
+		if s.Opts.Progress != nil {
+			if err := s.Opts.Progress(st); err != nil {
+				return &s.Obs, fmt.Errorf("negf: stopped after iteration %d: %w", it, err)
+			}
+		}
 		if it > 0 && rel < s.Opts.Tol {
 			return &s.Obs, nil
 		}

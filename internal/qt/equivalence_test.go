@@ -1,0 +1,188 @@
+package qt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// TestFacadeMatchesSequentialSolver checks the facade is a zero-cost
+// veneer: its per-iteration currents equal a hand-wired negf solver's
+// bitwise, in fp64 and mixed precision.
+func TestFacadeMatchesSequentialSolver(t *testing.T) {
+	const iters = 4
+	for _, prec := range []Precision{FP64, Mixed} {
+		_, res := solve(t, smallSpec(), WithPrecision(prec),
+			WithMaxIterations(iters), WithTolerance(1e-300))
+
+		dev, err := smallSpec().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := negf.DefaultOptions()
+		opts.MaxIter = iters
+		opts.Tol = 1e-300
+		if prec == Mixed {
+			opts.Kernel = sse.Mixed{Normalize: true}
+		}
+		s := negf.New(dev, opts)
+		if _, err := s.Run(); !errors.Is(err, negf.ErrNotConverged) {
+			t.Fatalf("direct solver: %v", err)
+		}
+
+		if len(res.Trace) != len(s.IterTrace) {
+			t.Fatalf("%s: facade ran %d iterations, direct %d", prec, len(res.Trace), len(s.IterTrace))
+		}
+		for i := range res.Trace {
+			if res.Trace[i].Current != s.IterTrace[i].Current {
+				t.Errorf("%s iter %d: facade current %.17g != direct %.17g",
+					prec, i, res.Trace[i].Current, s.IterTrace[i].Current)
+			}
+		}
+	}
+}
+
+// TestFacadeMatchesDistributedSolver checks the same for the
+// distributed path: the facade's telemetry hook (and its cancellation
+// agreement collective) must not perturb the arithmetic.
+func TestFacadeMatchesDistributedSolver(t *testing.T) {
+	const iters, ranks = 3, 4
+	for _, prec := range []Precision{FP64, Mixed} {
+		_, res := solve(t, smallSpec(), WithRanks(ranks), WithPrecision(prec),
+			WithMaxIterations(iters), WithTolerance(1e-300))
+
+		dev, err := smallSpec().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := dist.DefaultOptions(ranks)
+		opts.MaxIter = iters
+		opts.Tol = 1e-300
+		if prec == Mixed {
+			opts.Precision = dist.PrecisionMixed
+		}
+		dres, err := dist.Run(dev, opts)
+		if !errors.Is(err, negf.ErrNotConverged) {
+			t.Fatalf("direct solver: %v", err)
+		}
+
+		if len(res.Trace) != len(dres.IterTrace) {
+			t.Fatalf("%s: facade ran %d iterations, direct %d", prec, len(res.Trace), len(dres.IterTrace))
+		}
+		for i := range res.Trace {
+			if res.Trace[i].Current != dres.IterTrace[i].Current {
+				t.Errorf("%s iter %d: facade current %.17g != direct %.17g",
+					prec, i, res.Trace[i].Current, dres.IterTrace[i].Current)
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesSequentialThroughFacade is the end-to-end
+// equivalence entirely in facade terms: the same spec solved
+// sequentially and on 2 ranks gives the same per-iteration currents
+// within reduction-ordering tolerance (fp64) and MixedCurrentTol
+// (mixed).
+func TestDistributedMatchesSequentialThroughFacade(t *testing.T) {
+	const iters = 3
+	_, seq := solve(t, smallSpec(), WithMaxIterations(iters), WithTolerance(1e-300))
+	for _, prec := range []Precision{FP64, Mixed} {
+		tol := 1e-12
+		if prec == Mixed {
+			tol = dist.MixedCurrentTol
+		}
+		_, dres := solve(t, smallSpec(), WithRanks(2), WithPrecision(prec),
+			WithMaxIterations(iters), WithTolerance(1e-300))
+		for i := range dres.Trace {
+			rel := math.Abs(dres.Trace[i].Current-seq.Trace[i].Current) /
+				math.Abs(seq.Trace[i].Current)
+			if rel > tol {
+				t.Errorf("%s iter %d: distributed %.17g vs sequential %.17g (rel %.3g > %g)",
+					prec, i, dres.Trace[i].Current, seq.Trace[i].Current, rel, tol)
+			}
+		}
+	}
+}
+
+// TestTelemetryStreamMatchesTrace drains the streaming channel and
+// checks it delivers exactly the solver's own trace, for all three
+// solver paths.
+func TestTelemetryStreamMatchesTrace(t *testing.T) {
+	const iters = 3
+	configs := map[string][]Option{
+		"sequential":  {WithMaxIterations(iters), WithTolerance(1e-300)},
+		"dist-phases": {WithRanks(2), WithMaxIterations(iters), WithTolerance(1e-300)},
+		"dist-overlap": {WithRanks(2), WithSchedule(Overlap),
+			WithMaxIterations(iters), WithTolerance(1e-300)},
+	}
+	for name, opts := range configs {
+		t.Run(name, func(t *testing.T) {
+			sim, err := New(smallSpec(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := sim.Start(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamed []IterStats
+			for st := range run.Stats() {
+				streamed = append(streamed, st)
+			}
+			res, err := run.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(streamed) != len(res.Trace) || len(streamed) != iters {
+				t.Fatalf("streamed %d rows, trace %d, want %d", len(streamed), len(res.Trace), iters)
+			}
+			for i := range streamed {
+				if streamed[i] != res.Trace[i] {
+					t.Errorf("iter %d: streamed %+v != trace %+v", i, streamed[i], res.Trace[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepGrid runs a tiny bias×ranks grid and cross-checks the
+// solver-equivalence of the grid points.
+func TestSweepGrid(t *testing.T) {
+	points, err := Sweep{
+		Spec:    smallSpec(),
+		Options: []Option{WithMaxIterations(2), WithTolerance(1e-300)},
+		Bias:    []float64{0.2, 0.3},
+		Ranks:   []int{0, 2},
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expected 4 grid points, got %d", len(points))
+	}
+	// Points arrive bias-major; sequential and 2-rank solves of the same
+	// bias must agree.
+	for i := 0; i < len(points); i += 2 {
+		seq, dst := points[i], points[i+1]
+		if seq.Ranks != 0 || dst.Ranks != 2 {
+			t.Fatalf("unexpected grid order: %+v / %+v", seq, dst)
+		}
+		if seq.Bias != dst.Bias {
+			t.Fatalf("bias mismatch in pair: %g vs %g", seq.Bias, dst.Bias)
+		}
+		rel := math.Abs(seq.Result.Current-dst.Result.Current) / math.Abs(seq.Result.Current)
+		if rel > 1e-12 {
+			t.Errorf("bias %g: sequential %.17g vs distributed %.17g (rel %.3g)",
+				seq.Bias, seq.Result.Current, dst.Result.Current, rel)
+		}
+	}
+	// Different biases must give different currents.
+	if points[0].Result.Current == points[2].Result.Current {
+		t.Error("bias axis had no effect")
+	}
+}

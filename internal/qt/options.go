@@ -1,0 +1,279 @@
+package qt
+
+import (
+	"fmt"
+
+	"repro/internal/bc"
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/sse"
+)
+
+// config is the resolved experiment configuration an Option mutates.
+// It starts from the defaulted Spec, so every knob has exactly one
+// representation and an unset knob is simply an absent option.
+type config struct {
+	params device.Params
+
+	ranks     int // 0 = sequential solver, >=1 = distributed world size
+	schedule  Schedule
+	precision Precision
+	kernel    Kernel
+	sseKernel sse.Kernel // sequential-only escape hatch; nil = derived
+
+	maxIter    int
+	tol        float64
+	mixing     float64
+	cacheBC    bool
+	anderson   bool
+	ta, te     int // distributed SSE tile split (0 = inferred)
+	workers    int // 0 = dist default
+	errorProbe bool
+}
+
+func defaultConfig(spec Spec) config {
+	return config{
+		params:  spec.params(),
+		maxIter: 25,
+		tol:     1e-5,
+		mixing:  0.5,
+		cacheBC: true,
+	}
+}
+
+// Option configures a Simulation. Options are applied in order; each
+// validates its own argument, and New cross-validates the combination.
+type Option func(*config) error
+
+// WithRanks selects the distributed solver on a simulated MPI world of
+// p ranks. Without this option the sequential solver runs; p = 1 is a
+// valid (single-rank) distributed world, useful for schedule and wire
+// format testing.
+func WithRanks(p int) Option {
+	return func(c *config) error {
+		if p < 1 {
+			return fmt.Errorf("WithRanks: world size must be >= 1, got %d", p)
+		}
+		c.ranks = p
+		return nil
+	}
+}
+
+// WithSchedule selects the distributed execution schedule. Overlap
+// requires WithRanks.
+func WithSchedule(s Schedule) Option {
+	return func(c *config) error {
+		if s != Phases && s != Overlap {
+			return fmt.Errorf("WithSchedule: unknown schedule %d", s)
+		}
+		c.schedule = s
+		return nil
+	}
+}
+
+// WithPrecision selects the SSE arithmetic: FP64 (default) or the §5.4
+// Mixed path — normalized binary16 tile kernel, plus half-width wire
+// payloads when distributed.
+func WithPrecision(p Precision) Option {
+	return func(c *config) error {
+		if p != FP64 && p != Mixed {
+			return fmt.Errorf("WithPrecision: unknown precision %d", p)
+		}
+		c.precision = p
+		return nil
+	}
+}
+
+// WithKernel selects the sequential SSE schedule (DataCentric or the
+// OMEN Baseline). The distributed solver always runs the data-centric
+// exchange, so Baseline conflicts with WithRanks.
+func WithKernel(k Kernel) Option {
+	return func(c *config) error {
+		if k != DataCentric && k != Baseline {
+			return fmt.Errorf("WithKernel: unknown kernel %d", k)
+		}
+		c.kernel = k
+		return nil
+	}
+}
+
+// WithSSEKernel injects a custom sequential SSE kernel — the advanced
+// escape hatch the precision experiments use to wrap kernels (e.g. unit
+// rescaling). Sequential only; overrides WithKernel/WithPrecision
+// kernel derivation.
+func WithSSEKernel(k sse.Kernel) Option {
+	return func(c *config) error {
+		if k == nil {
+			return fmt.Errorf("WithSSEKernel: kernel must be non-nil")
+		}
+		c.sseKernel = k
+		return nil
+	}
+}
+
+// WithMaxIterations bounds the self-consistent GF↔SSE iterations.
+func WithMaxIterations(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("WithMaxIterations: need at least one iteration, got %d", n)
+		}
+		c.maxIter = n
+		return nil
+	}
+}
+
+// WithTolerance sets the relative contact-current change declaring
+// convergence. Pass a tiny value (e.g. 1e-300) to run all iterations —
+// the measuring-not-converging mode of the scaling sweeps.
+func WithTolerance(tol float64) Option {
+	return func(c *config) error {
+		if tol <= 0 {
+			return fmt.Errorf("WithTolerance: tolerance must be positive, got %g", tol)
+		}
+		c.tol = tol
+		return nil
+	}
+}
+
+// WithMixing sets the linear self-consistency mixing factor in (0, 1].
+func WithMixing(m float64) Option {
+	return func(c *config) error {
+		if m <= 0 || m > 1 {
+			return fmt.Errorf("WithMixing: factor must be in (0, 1], got %g", m)
+		}
+		c.mixing = m
+		return nil
+	}
+}
+
+// WithBoundaryCache toggles cross-iteration boundary-condition caching
+// (§7.1.2, default on).
+func WithBoundaryCache(on bool) Option {
+	return func(c *config) error {
+		c.cacheBC = on
+		return nil
+	}
+}
+
+// WithAnderson enables depth-1 Anderson acceleration instead of plain
+// linear mixing. Sequential only.
+func WithAnderson() Option {
+	return func(c *config) error {
+		c.anderson = true
+		return nil
+	}
+}
+
+// WithBias overrides the drain-source bias (eV) after Spec defaulting,
+// so an explicit zero bias is expressible — the knob the Sweep driver
+// turns for I-V curves.
+func WithBias(v float64) Option {
+	return func(c *config) error {
+		c.params.Vds = v
+		return nil
+	}
+}
+
+// WithTiles sets the atom×energy tile split of the distributed SSE
+// exchange (Ta·TE must equal the world size; a zero is inferred from
+// the other factor). Requires WithRanks.
+func WithTiles(ta, te int) Option {
+	return func(c *config) error {
+		if ta < 0 || te < 0 || ta+te == 0 {
+			return fmt.Errorf("WithTiles: tile counts must be positive (one may be 0 to infer), got %d×%d", ta, te)
+		}
+		c.ta, c.te = ta, te
+		return nil
+	}
+}
+
+// WithWorkers sets the per-rank worker pool of the Overlap schedule.
+// Requires WithRanks.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("WithWorkers: need at least one worker, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithErrorProbe enables the per-iteration fp64-reference quantization
+// probe (IterStats.SigmaErr). Requires WithRanks and WithPrecision(Mixed).
+func WithErrorProbe() Option {
+	return func(c *config) error {
+		c.errorProbe = true
+		return nil
+	}
+}
+
+// validate cross-checks the assembled configuration.
+func (c *config) validate() error {
+	if err := c.params.Validate(); err != nil {
+		return err
+	}
+	if c.ranks == 0 {
+		// Sequential solver.
+		if c.schedule == Overlap {
+			return fmt.Errorf("WithSchedule(Overlap) requires WithRanks")
+		}
+		if c.ta != 0 || c.te != 0 {
+			return fmt.Errorf("WithTiles requires WithRanks")
+		}
+		if c.workers != 0 {
+			return fmt.Errorf("WithWorkers requires WithRanks")
+		}
+		if c.kernel == Baseline && c.precision == Mixed {
+			return fmt.Errorf("WithKernel(Baseline) conflicts with WithPrecision(Mixed): the baseline loop nest has no binary16 form")
+		}
+		if c.sseKernel != nil && (c.kernel == Baseline || c.precision == Mixed) {
+			return fmt.Errorf("WithSSEKernel overrides the kernel: do not combine it with WithKernel or WithPrecision")
+		}
+	} else {
+		// Distributed solver.
+		if c.kernel == Baseline {
+			return fmt.Errorf("WithKernel(Baseline) requires the sequential solver: the distributed SSE exchange is data-centric by construction")
+		}
+		if c.sseKernel != nil {
+			return fmt.Errorf("WithSSEKernel requires the sequential solver")
+		}
+		if c.anderson {
+			return fmt.Errorf("WithAnderson requires the sequential solver")
+		}
+		if err := c.distOptions(nil).Validate(); err != nil {
+			return err
+		}
+	}
+	if c.errorProbe && (c.ranks == 0 || c.precision != Mixed) {
+		return fmt.Errorf("WithErrorProbe requires WithRanks and WithPrecision(Mixed)")
+	}
+	return nil
+}
+
+// distOptions assembles the dist.Options of this configuration.
+func (c *config) distOptions(progress func(dist.IterStats) error) dist.Options {
+	o := dist.DefaultOptions(c.ranks)
+	o.Ta, o.TE = c.ta, c.te
+	if o.Ta == 0 && o.TE == 0 {
+		o.Ta, o.TE = 1, c.ranks
+	}
+	if !c.cacheBC {
+		o.CacheMode = bc.NoCache
+	}
+	o.Mixing = c.mixing
+	o.MaxIter = c.maxIter
+	o.Tol = c.tol
+	if c.schedule == Overlap {
+		o.Schedule = dist.ScheduleOverlap
+	}
+	if c.workers > 0 {
+		o.Workers = c.workers
+	}
+	if c.precision == Mixed {
+		o.Precision = dist.PrecisionMixed
+	}
+	o.ErrorProbe = c.errorProbe
+	o.Progress = progress
+	return o
+}

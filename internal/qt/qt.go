@@ -1,0 +1,191 @@
+// Package qt is the top-level experiment API of the quantum transport
+// library — one facade over the entire solver matrix: the sequential
+// negf solver, the distributed dist solver (bulk-synchronous phases or
+// the overlapped task-graph schedule), and the fp64/mixed-precision SSE
+// paths, mirroring how the paper's DaCe OMEN exposes a single
+// data-centric entry point for a full electro-thermal simulation.
+//
+// A minimal simulation is three lines:
+//
+//	sim, _ := qt.New(qt.Spec{Atoms: 24, Slabs: 6, Orbitals: 2})
+//	run, _ := sim.Start(context.Background())
+//	res, _ := run.Wait()
+//
+// Every knob beyond the physical Spec is a functional option — an unset
+// knob is simply an absent option:
+//
+//	sim, err := qt.New(spec,
+//		qt.WithRanks(8),                // distributed, P = 8 simulated ranks
+//		qt.WithSchedule(qt.Overlap),    // task-graph execution
+//		qt.WithPrecision(qt.Mixed),     // §5.4 binary16 SSE + half wire
+//		qt.WithTolerance(1e-5),
+//	)
+//
+// Start returns a run handle: the run is cancellable between
+// self-consistent iterations through the context, and streams one
+// IterStats per iteration (the unified telemetry schema shared by the
+// sequential and distributed solvers) while it executes. The Sweep
+// driver fans one Spec across bias/world-size/precision grids for I-V
+// curves and scaling studies.
+package qt
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/device"
+)
+
+// Spec describes the physical experiment: the synthetic structure and
+// the (kz, E, ω) grid it is solved on. Zero fields take the documented
+// defaults (the paper-scale-down FinFET slice used across the repo);
+// execution knobs — solver selection, precision, tolerances — are
+// options on New, not Spec fields.
+type Spec struct {
+	Atoms    int // total atoms (default 24)
+	Slabs    int // block-tridiagonal slabs (default 6)
+	Orbitals int // orbitals per atom (default 2)
+
+	MomentumPoints int     // Nkz = Nqz (default 3)
+	EnergyPoints   int     // NE (default 24)
+	PhononModes    int     // Nω (default 4)
+	Bias           float64 // Vds in eV (default 0.3; WithBias sets any value, including 0)
+	Temperature    float64 // contact temperature in K (default 300)
+	Coupling       float64 // electron-phonon strength (default 0.08)
+	Seed           uint64  // structure seed (default 0x5eed)
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.Atoms == 0 {
+		s.Atoms = 24
+	}
+	if s.Slabs == 0 {
+		s.Slabs = 6
+	}
+	if s.Orbitals == 0 {
+		s.Orbitals = 2
+	}
+	if s.MomentumPoints == 0 {
+		s.MomentumPoints = 3
+	}
+	if s.EnergyPoints == 0 {
+		s.EnergyPoints = 24
+	}
+	if s.PhononModes == 0 {
+		s.PhononModes = 4
+	}
+	if s.Bias == 0 {
+		s.Bias = 0.3
+	}
+	if s.Temperature == 0 {
+		s.Temperature = 300
+	}
+	if s.Coupling == 0 {
+		s.Coupling = 0.08
+	}
+	if s.Seed == 0 {
+		s.Seed = 0x5eed
+	}
+	return s
+}
+
+// params resolves the spec into device parameters.
+func (s Spec) params() device.Params {
+	p := device.TestParams(s.Atoms, s.Slabs, s.Orbitals)
+	p.Nkz = s.MomentumPoints
+	p.NE = s.EnergyPoints
+	p.Nomega = s.PhononModes
+	p.Vds = s.Bias
+	p.TC = s.Temperature
+	p.Coupling = s.Coupling
+	p.Seed = s.Seed
+	return p
+}
+
+// Build validates the (defaulted) spec and constructs the synthetic
+// device — the entry point for exchange-level tools that drive the
+// lower layers directly (cmd/commsim, the scaling example) but share
+// the facade's structure definition.
+func (s Spec) Build() (*device.Device, error) {
+	p := s.withDefaults().params()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	dev, err := device.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	return dev, nil
+}
+
+// Schedule selects how a distributed self-consistent iteration executes
+// (dist.Schedule behind the facade).
+type Schedule int
+
+const (
+	// Phases is the bulk-synchronous baseline: GF phase, SSE exchange,
+	// observable reduction strictly one after another.
+	Phases Schedule = iota
+	// Overlap runs each iteration as a dataflow graph on a work-stealing
+	// pool with nonblocking exchanges (§7.1.3).
+	Overlap
+)
+
+func (s Schedule) String() string {
+	if s == Overlap {
+		return "overlap"
+	}
+	return "phases"
+}
+
+// Precision selects the SSE arithmetic (§5.4).
+type Precision int
+
+const (
+	// FP64 runs the SSE phase entirely in complex128 (the default).
+	FP64 Precision = iota
+	// Mixed quantizes the SSE inputs to emulated binary16 with dynamic
+	// normalization (and, distributed, ships half-width wire payloads on
+	// all four Alltoallv exchanges) while accumulating in fp64.
+	Mixed
+)
+
+func (p Precision) String() string {
+	if p == Mixed {
+		return "mixed"
+	}
+	return "fp64"
+}
+
+// ParsePrecision maps the command-line spelling to a Precision. The
+// accepted spellings are decomp.ParsePrecision's — one parser for the
+// whole stack.
+func ParsePrecision(s string) (Precision, error) {
+	p, err := decomp.ParsePrecision(s)
+	if err != nil {
+		return FP64, fmt.Errorf("qt: %w", err)
+	}
+	if p == decomp.Mixed {
+		return Mixed, nil
+	}
+	return FP64, nil
+}
+
+// Kernel selects the sequential SSE schedule.
+type Kernel int
+
+const (
+	// DataCentric is the transformed kernel (map fission + SBSMM), the
+	// paper's contribution. Default.
+	DataCentric Kernel = iota
+	// Baseline is the original OMEN-style 8-deep loop nest.
+	Baseline
+)
+
+func (k Kernel) String() string {
+	if k == Baseline {
+		return "omen"
+	}
+	return "dace"
+}

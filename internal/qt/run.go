@@ -1,0 +1,226 @@
+package qt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// IterStats is the unified per-iteration telemetry schema shared by the
+// sequential and distributed solvers — the row type every report
+// encoder and streaming consumer keys on. Fields that a solver does not
+// measure stay zero: sequential runs move no bytes, and Compute/CommNs
+// split only under the Overlap schedule.
+type IterStats struct {
+	Iter     int     `json:"iter"`
+	Current  float64 `json:"current"`  // left-contact electron current (a.u.), global
+	Residual float64 `json:"residual"` // relative change vs the previous iteration; 0 on the first (nothing to compare, kept JSON-safe)
+
+	ElEnergyLoss float64 `json:"el_energy_loss"` // R_e: electron energy lost to the lattice
+	PhEnergyGain float64 `json:"ph_energy_gain"` // R_ph: energy absorbed by the phonon bath
+
+	SSE sse.Stats `json:"sse"` // tile/kernel arithmetic counters
+
+	SSEBytes    int64   `json:"sse_bytes"`    // four-Alltoallv exchange traffic (wire volume under Mixed)
+	ReduceBytes int64   `json:"reduce_bytes"` // observable/convergence reduction traffic
+	SigmaErr    float64 `json:"sigma_err"`    // worst-rank Σ≷/Π≷ quantization deviation (error probe)
+
+	WallNs    int64 `json:"wall_ns"`    // measured iteration wall time (rank 0 for distributed)
+	ComputeNs int64 `json:"compute_ns"` // rank-0 summed compute-task time (Overlap only)
+	CommNs    int64 `json:"comm_ns"`    // rank-0 summed communication-task time (Overlap only)
+}
+
+// residual sanitizes the solvers' relative change: the first iteration
+// compares against NaN, which the unified (JSON-encodable) schema
+// reports as 0.
+func residual(rel float64) float64 {
+	if math.IsNaN(rel) || math.IsInf(rel, 0) {
+		return 0
+	}
+	return rel
+}
+
+// fromSequential maps the sequential solver's trace row into the
+// unified schema.
+func fromSequential(st negf.IterStats) IterStats {
+	return IterStats{
+		Iter: st.Iter, Current: st.Current, Residual: residual(st.RelChange),
+		ElEnergyLoss: st.ElEnergyLoss, PhEnergyGain: st.PhEnergyGain,
+		SSE: st.SSEStats, WallNs: st.WallNs,
+	}
+}
+
+// fromDistributed maps the distributed solver's trace row into the
+// unified schema.
+func fromDistributed(st dist.IterStats) IterStats {
+	return IterStats{
+		Iter: st.Iter, Current: st.Current, Residual: residual(st.RelChange),
+		ElEnergyLoss: st.ElEnergyLoss, PhEnergyGain: st.PhEnergyGain,
+		SSE:      st.SSE,
+		SSEBytes: st.SSEBytes, ReduceBytes: st.ReduceBytes, SigmaErr: st.SigmaErr,
+		WallNs: st.WallNs, ComputeNs: st.ComputeNs, CommNs: st.CommNs,
+	}
+}
+
+// Result summarizes a finished (converged, capped, or cancelled) run.
+type Result struct {
+	// Converged reports whether the self-consistent loop reached the
+	// configured tolerance within the iteration budget.
+	Converged  bool `json:"converged"`
+	Iterations int  `json:"iterations"`
+	// Current is the source-contact electron current (a.u.).
+	Current float64 `json:"current"`
+	// MaxTemperature is the hottest lattice temperature (K) and HotSpot
+	// its slab index — the Joule-heating signature of Fig. 1(d).
+	MaxTemperature float64 `json:"max_temperature"`
+	HotSpot        int     `json:"hot_spot"`
+	// EnergyBalance is phonon gain / electron loss; 1 means perfect
+	// conservation between the two baths.
+	EnergyBalance float64 `json:"energy_balance"`
+	// Trace is the full per-iteration telemetry in the unified schema —
+	// identical to what the run streamed.
+	Trace []IterStats `json:"trace"`
+	// Observables exposes the full per-slab/per-atom detail.
+	Observables *negf.Observables `json:"-"`
+	// Comm holds the world's communication counters and Load the
+	// per-rank work distribution; both are nil for sequential runs.
+	Comm *comm.Stats     `json:"comm,omitempty"`
+	Load []dist.RankLoad `json:"load,omitempty"`
+}
+
+// Run is the handle of one in-flight solve.
+type Run struct {
+	stats chan IterStats
+	done  chan struct{}
+
+	res *Result
+	err error
+}
+
+// Stats streams one IterStats per self-consistent iteration while the
+// run executes, in iteration order, and is closed when the run ends.
+// The channel is buffered for the full iteration budget, so a consumer
+// that reads late (or not at all) never blocks the solver.
+func (r *Run) Stats() <-chan IterStats { return r.stats }
+
+// Done is closed when the run has fully finished (all solver goroutines
+// exited and the result is available).
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the run finishes and returns its result. On
+// cancellation it returns the partial result of the completed
+// iterations together with the context's error; ErrNotConverged is not
+// an error here — it is reported through Result.Converged.
+func (r *Run) Wait() (*Result, error) {
+	<-r.done
+	return r.res, r.err
+}
+
+// Start launches the solve and returns its handle. The context is
+// observed between self-consistent iterations — on cancellation every
+// simulated rank agrees to stop, the solver drains cleanly (no leaked
+// goroutines) and Wait returns the partial result with ctx's error.
+func (s *Simulation) Start(ctx context.Context) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	r := &Run{
+		stats: make(chan IterStats, s.cfg.maxIter),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		defer close(r.stats)
+		if s.cfg.ranks > 0 {
+			r.res, r.err = s.runDistributed(ctx, r)
+		} else {
+			r.res, r.err = s.runSequential(ctx, r)
+		}
+	}()
+	return r, nil
+}
+
+// emit forwards one iteration's telemetry; the buffer covers the full
+// iteration budget, so the send never blocks.
+func (r *Run) emit(st IterStats) {
+	select {
+	case r.stats <- st:
+	default: // impossible while maxIter bounds the iterations; never block the solver
+	}
+}
+
+// runSequential drives the negf solver under the facade contract.
+func (s *Simulation) runSequential(ctx context.Context, r *Run) (*Result, error) {
+	trace := []IterStats{}
+	solver := negf.New(s.Device, s.cfg.negfOptions(func(st negf.IterStats) error {
+		u := fromSequential(st)
+		trace = append(trace, u)
+		r.emit(u)
+		return ctx.Err()
+	}))
+	obs, err := solver.Run()
+	switch {
+	case err == nil, errors.Is(err, negf.ErrNotConverged):
+		// Converged or capped: both carry valid observables.
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		return s.summarize(obs, trace, err == nil, nil, nil), ctx.Err()
+	default:
+		return nil, err
+	}
+	return s.summarize(obs, trace, err == nil, nil, nil), nil
+}
+
+// runDistributed drives the dist solver under the facade contract.
+func (s *Simulation) runDistributed(ctx context.Context, r *Run) (*Result, error) {
+	trace := []IterStats{}
+	res, err := dist.Run(s.Device, s.cfg.distOptions(func(st dist.IterStats) error {
+		u := fromDistributed(st)
+		trace = append(trace, u)
+		r.emit(u)
+		return ctx.Err()
+	}))
+	switch {
+	case err == nil, errors.Is(err, negf.ErrNotConverged):
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		return s.summarize(&res.Obs, trace, false, &res.Comm, res.Load), ctx.Err()
+	default:
+		return nil, err
+	}
+	return s.summarize(&res.Obs, trace, res.Converged, &res.Comm, res.Load), nil
+}
+
+// summarize folds the observables and trace into the Result.
+func (s *Simulation) summarize(obs *negf.Observables, trace []IterStats, converged bool,
+	cs *comm.Stats, load []dist.RankLoad) *Result {
+
+	res := &Result{
+		Converged:   converged,
+		Iterations:  len(trace),
+		Trace:       trace,
+		Observables: obs,
+		Comm:        cs,
+		Load:        load,
+	}
+	if obs == nil {
+		return res
+	}
+	res.Current = obs.CurrentL
+	for i, t := range obs.SlabTemperature(s.Device) {
+		if t > res.MaxTemperature {
+			res.MaxTemperature, res.HotSpot = t, i
+		}
+	}
+	if obs.ElectronEnergyLoss != 0 {
+		res.EnergyBalance = obs.PhononEnergyGain / obs.ElectronEnergyLoss
+	}
+	return res
+}

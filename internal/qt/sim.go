@@ -1,0 +1,105 @@
+package qt
+
+import (
+	"fmt"
+
+	"repro/internal/bc"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/sse"
+)
+
+// Simulation is a validated, buildable experiment: the synthetic device
+// plus the resolved execution configuration. It is immutable after New;
+// every Start launches an independent solve against the shared
+// (read-only) device, so one Simulation can back a whole sweep.
+type Simulation struct {
+	Spec   Spec
+	Device *device.Device
+
+	cfg config
+}
+
+// New validates the configuration, builds the synthetic device and
+// returns the runnable simulation.
+func New(spec Spec, opts ...Option) (*Simulation, error) {
+	spec = spec.withDefaults()
+	cfg := defaultConfig(spec)
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, fmt.Errorf("qt: %w", err)
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	dev, err := device.Build(cfg.params)
+	if err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	// Reflect option-level overrides back into the exported Spec so it
+	// always reports what is actually solved.
+	spec.Bias = cfg.params.Vds
+	return &Simulation{Spec: spec, Device: dev, cfg: cfg}, nil
+}
+
+// Ranks reports the configured world size (0 = sequential solver).
+func (s *Simulation) Ranks() int { return s.cfg.ranks }
+
+// Tiles reports the resolved Ta×TE tile split of the distributed SSE
+// exchange (1×P when unset; zeros for sequential configurations).
+func (s *Simulation) Tiles() (ta, te int) {
+	if s.cfg.ranks == 0 {
+		return 0, 0
+	}
+	o := s.cfg.distOptions(nil)
+	if o.TE == 0 && o.Ta > 0 {
+		o.TE = s.cfg.ranks / o.Ta
+	}
+	if o.Ta == 0 && o.TE > 0 {
+		o.Ta = s.cfg.ranks / o.TE
+	}
+	return o.Ta, o.TE
+}
+
+// sequentialKernel derives the sequential SSE kernel of the config.
+func (c *config) sequentialKernel() sse.Kernel {
+	switch {
+	case c.sseKernel != nil:
+		return c.sseKernel
+	case c.precision == Mixed:
+		return sse.Mixed{Normalize: true}
+	case c.kernel == Baseline:
+		return sse.OMEN{}
+	default:
+		return sse.DaCe{}
+	}
+}
+
+// negfOptions assembles the sequential solver options.
+func (c *config) negfOptions(progress func(negf.IterStats) error) negf.Options {
+	o := negf.DefaultOptions()
+	o.Kernel = c.sequentialKernel()
+	if !c.cacheBC {
+		o.CacheMode = bc.NoCache
+	}
+	o.Mixing = c.mixing
+	o.MaxIter = c.maxIter
+	o.Tol = c.tol
+	o.Anderson = c.anderson
+	o.Progress = progress
+	return o
+}
+
+// Ballistic solves the Green's functions once with zero scattering
+// self-energies (the coherent-transport limit) and returns the
+// observables without running the self-consistent loop. It always uses
+// the sequential solver — a single GF phase has no exchange to
+// distribute.
+func (s *Simulation) Ballistic() (*negf.Observables, error) {
+	solver := negf.New(s.Device, s.cfg.negfOptions(nil))
+	if err := solver.GFPhase(); err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	return &solver.Obs, nil
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/qt"
+	"repro/internal/sse"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixedTrace is a deterministic two-iteration trace in the unified
+// schema, with every field populated.
+func fixedTrace() []qt.IterStats {
+	return []qt.IterStats{
+		{
+			Iter: 0, Current: 0.0686293798, Residual: 0,
+			ElEnergyLoss: 1.06e-06, PhEnergyGain: 2.67e-06,
+			SSE:      sse.Stats{MatMuls: 53136, Flops: 1.2e7, ScalarOps: 3.4e6, BytesMoved: 8.1e6},
+			SSEBytes: 789504, ReduceBytes: 960, SigmaErr: 5.25e-04,
+			WallNs: 62_000_000, ComputeNs: 41_000_000, CommNs: 9_000_000,
+		},
+		{
+			Iter: 1, Current: 0.0686372562, Residual: 1.1475e-04,
+			ElEnergyLoss: 1.59e-06, PhEnergyGain: 3.99e-06,
+			SSE:      sse.Stats{MatMuls: 53136, Flops: 1.2e7, ScalarOps: 3.4e6, BytesMoved: 8.1e6},
+			SSEBytes: 789504, ReduceBytes: 960, SigmaErr: 4.75e-04,
+			WallNs: 58_000_000, ComputeNs: 40_000_000, CommNs: 8_000_000,
+		},
+	}
+}
+
+func fixedRun() *Run {
+	return &Run{
+		Device: DeviceInfo{
+			Atoms: 12, Slabs: 3, Orbitals: 2, MaxNeighbours: 11,
+			MomentumPoints: 3, EnergyPoints: 12, PhononModes: 3,
+			Bias: 0.3, Temperature: 300,
+		},
+		Kernel: "dace", Ranks: 2, Schedule: "overlap",
+		Converged: false, WallNs: 149_000_000,
+		Trace: fixedTrace(),
+
+		CurrentL: 0.0686372562, CurrentR: -0.0686372560,
+		EnergyCurrentL: -0.00781947, PhononEnergyCurrentL: 3.33e-06,
+		ElectronEnergyLoss: 1.59e-06, PhononEnergyGain: 3.99e-06,
+		MaxTemperature: 301.5, HotSpot: 1,
+		Profile: []SlabRow{
+			{Slab: 0, Current: 0.08512, EnergyCurrent: -0.025488, PhononEnergy: -2.4735e-07, Temperature: 301.4},
+			{Slab: 1, Current: 0.06745, EnergyCurrent: -0.0066699, PhononEnergy: 7.1507e-07, Temperature: 301.5},
+			{Slab: 2, Temperature: 301.0},
+		},
+	}
+}
+
+func fixedScaling() *Scaling {
+	return &Scaling{
+		Meta: Meta{
+			Atoms: 12, Slabs: 3, Orbitals: 2,
+			MomentumPoints: 3, EnergyPoints: 8, PhononModes: 3,
+			Iterations: 2, Workers: 2, Precision: "mixed",
+		},
+		Strong: []ScaleRow{
+			{
+				Sweep: "strong", P: 1, Ta: 1, TE: 1, Precision: "mixed",
+				Current: 1.154413e-07, SSEMeasBytes: 0, SSEModelBytes: 846_721,
+				Ratio: 0, ReduceBytes: 0, WallNs: 30_000_000, RelVsSeq: 0,
+				SigmaErr: 5.2e-04,
+			},
+			{
+				Sweep: "strong", P: 2, Ta: 1, TE: 2, Precision: "mixed",
+				Current: 1.154414e-07, SSEMeasBytes: 206_208, SSEModelBytes: 445_824,
+				Ratio: 0.4625, ReduceBytes: 960, WallNs: 62_839_685, RelVsSeq: 1.397e-06,
+				FP64SSEBytes: 789_504, VolumeRatio: 3.8287, SigmaErr: 5.25e-04,
+			},
+		},
+		Weak: []ScaleRow{
+			{
+				Sweep: "weak", P: 2, Ta: 1, TE: 2, Precision: "fp64",
+				Current: 1.924537e-01, SSEMeasBytes: 814_080, SSEModelBytes: 1_693_442,
+				Ratio: 0.4807, ReduceBytes: 1_216, WallNs: 68_000_000, RelVsSeq: -1,
+			},
+		},
+		Overlap: []OverlapRow{
+			{
+				P: 2, Workers: 2, PhasesWallNs: 39_392_373, OverlapWallNs: 37_605_055,
+				Speedup: 1.0475, ComputeNs: 19_191_249, CommNs: 14_790_000,
+				StreamPredGain: 1.694, MaxRelDiff: 0,
+			},
+		},
+		AlltoallvPerIter: 4,
+	}
+}
+
+// TestGolden locks every encoder's byte-exact output across both report
+// types and all three formats.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  Encoder
+	}{
+		{"run", fixedRun()},
+		{"scaling", fixedScaling()},
+	}
+	for _, c := range cases {
+		for _, f := range []Format{Text, JSON, CSV} {
+			name := c.name + "_" + f.String()
+			t.Run(name, func(t *testing.T) {
+				var buf bytes.Buffer
+				if err := Write(&buf, f, c.rep); err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", name+".golden")
+				if *update {
+					if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run `go test ./internal/report -update` to regenerate)", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+						name, buf.String(), want)
+				}
+			})
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range Formats {
+		if _, err := ParseFormat(s); err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("ParseFormat must reject unknown formats")
+	}
+}
+
+func TestPerIter(t *testing.T) {
+	agg := PerIter(fixedTrace())
+	if agg.SSEBytes != 789504 || agg.ReduceBytes != 960 {
+		t.Errorf("byte means wrong: %+v", agg)
+	}
+	if agg.WallNs != 60_000_000 {
+		t.Errorf("wall mean = %d, want 60ms", agg.WallNs)
+	}
+	if agg.MaxSigmaErr != 5.25e-04 {
+		t.Errorf("max sigma err = %g", agg.MaxSigmaErr)
+	}
+	if zero := PerIter(nil); zero != (PerIterAgg{}) {
+		t.Errorf("empty trace must aggregate to zero, got %+v", zero)
+	}
+}

@@ -1,0 +1,129 @@
+// Package report renders experiment results — the qt facade's unified
+// per-iteration telemetry schema and the aggregate rows of the scaling
+// studies — as human tables (text), machine-readable JSON, or CSV. The
+// encoders were extracted from cmd/distsim so every driver shares one
+// set of formats keyed on one schema.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/qt"
+)
+
+// Format selects an output encoding.
+type Format int
+
+const (
+	Text Format = iota
+	JSON
+	CSV
+)
+
+func (f Format) String() string {
+	switch f {
+	case JSON:
+		return "json"
+	case CSV:
+		return "csv"
+	default:
+		return "text"
+	}
+}
+
+// Formats lists the supported encodings in flag spelling.
+var Formats = []string{"text", "json", "csv"}
+
+// ParseFormat maps the command-line spelling to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return Text, nil
+	case "json":
+		return JSON, nil
+	case "csv":
+		return CSV, nil
+	}
+	return Text, fmt.Errorf("report: unknown format %q (want text, json, or csv)", s)
+}
+
+// Encoder is a report that renders itself as text and CSV; JSON comes
+// from the value's own marshalling.
+type Encoder interface {
+	Text(w io.Writer) error
+	CSV(w io.Writer) error
+}
+
+// Write renders the report in the requested format.
+func Write(w io.Writer, f Format, r Encoder) error {
+	switch f {
+	case JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	case CSV:
+		return r.CSV(w)
+	default:
+		return r.Text(w)
+	}
+}
+
+// PerIterAgg aggregates a run's trace into per-iteration means (and the
+// worst quantization deviation) — the normalized view the scaling rows
+// report.
+type PerIterAgg struct {
+	SSEBytes    int64
+	ReduceBytes int64
+	WallNs      int64
+	ComputeNs   int64
+	CommNs      int64
+	MaxSigmaErr float64
+}
+
+// PerIter reduces a unified-schema trace into per-iteration averages.
+func PerIter(trace []qt.IterStats) PerIterAgg {
+	var a PerIterAgg
+	if len(trace) == 0 {
+		return a
+	}
+	for _, it := range trace {
+		a.SSEBytes += it.SSEBytes
+		a.ReduceBytes += it.ReduceBytes
+		a.WallNs += it.WallNs
+		a.ComputeNs += it.ComputeNs
+		a.CommNs += it.CommNs
+		if it.SigmaErr > a.MaxSigmaErr {
+			a.MaxSigmaErr = it.SigmaErr
+		}
+	}
+	n := int64(len(trace))
+	a.SSEBytes /= n
+	a.ReduceBytes /= n
+	a.WallNs /= n
+	a.ComputeNs /= n
+	a.CommNs /= n
+	return a
+}
+
+// FmtBytes renders a byte count with binary-prefix units.
+func FmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func durms(ns int64) string { return time.Duration(ns).Round(time.Millisecond).String() }

@@ -34,12 +34,33 @@
 package sse
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/device"
 	"repro/internal/tensor"
 )
+
+// RandomInput synthesizes Gaussian Green's-function tensors shaped for
+// dev — the standard workload of the exchange-level experiments
+// (decomposition studies, wire-format benchmarks), which move data
+// without caring where it came from. Deterministic in seed.
+func RandomInput(dev *device.Device, seed int64) *Input {
+	p := dev.P
+	rng := rand.New(rand.NewSource(seed))
+	gl := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	gg := tensor.NewElectron(p.Nkz, p.NE, p.Na, p.Norb)
+	nbp1 := dev.MaxNb() + 1
+	dl := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	dg := tensor.NewPhonon(p.Nqz(), p.Nomega, p.Na, nbp1, device.N3D)
+	for _, buf := range [][]complex128{gl.Data, gg.Data, dl.Data, dg.Data} {
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return &Input{Dev: dev, GL: gl, GG: gg, DL: dl, DG: dg}
+}
 
 // Input bundles the Green's functions entering an SSE evaluation.
 type Input struct {
