@@ -63,6 +63,7 @@ func benchInput() *sse.Input {
 // BenchmarkTable3_FlopModel evaluates the analytic per-iteration flop
 // model at paper scale (all Nkz columns).
 func BenchmarkTable3_FlopModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Table3([]int{3, 5, 7, 9, 11})
 	}
@@ -71,6 +72,7 @@ func BenchmarkTable3_FlopModel(b *testing.B) {
 // BenchmarkTable3_RGFKernel measures the RGF kernel the flop model
 // describes, on a scaled-down block-tridiagonal problem.
 func BenchmarkTable3_RGFKernel(b *testing.B) {
+	b.ReportAllocs()
 	dev := benchDevice()
 	h := dev.Hamiltonian(0)
 	a := h.Clone()
@@ -94,6 +96,7 @@ func BenchmarkTable3_RGFKernel(b *testing.B) {
 
 // BenchmarkTable4_CommModel evaluates the weak-scaling volume model.
 func BenchmarkTable4_CommModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Table4([]int{3, 5, 7, 9, 11})
 	}
@@ -102,6 +105,7 @@ func BenchmarkTable4_CommModel(b *testing.B) {
 // BenchmarkTable4_MeasuredOMEN runs the original decomposition's SSE
 // exchange for real on the simulated fabric and reports bytes moved.
 func BenchmarkTable4_MeasuredOMEN(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput()
 	b.ResetTimer()
 	var bytes int64
@@ -117,6 +121,7 @@ func BenchmarkTable4_MeasuredOMEN(b *testing.B) {
 
 // BenchmarkTable4_MeasuredDaCe runs the communication-avoiding exchange.
 func BenchmarkTable4_MeasuredDaCe(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput()
 	b.ResetTimer()
 	var bytes int64
@@ -132,6 +137,7 @@ func BenchmarkTable4_MeasuredDaCe(b *testing.B) {
 
 // BenchmarkTable5_CommModel evaluates the strong-scaling volume model.
 func BenchmarkTable5_CommModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Table5([]int{224, 448, 896, 1792, 2688})
 	}
@@ -140,6 +146,7 @@ func BenchmarkTable5_CommModel(b *testing.B) {
 // ── Table 6: stream pipelining ──
 
 func BenchmarkTable6_StreamSweep(b *testing.B) {
+	b.ReportAllocs()
 	tasks := stream.GFTaskSet(64, 9.32, 0.082)
 	for i := 0; i < b.N; i++ {
 		_ = stream.Sweep(tasks, []int{1, 2, 4, 16, 32})
@@ -166,6 +173,7 @@ func benchSparsePair(n int) (*linalg.Matrix, *linalg.Matrix) {
 }
 
 func BenchmarkTable7_DenseGEMM(b *testing.B) {
+	b.ReportAllocs()
 	sp, dn := benchSparsePair(192)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -174,6 +182,7 @@ func BenchmarkTable7_DenseGEMM(b *testing.B) {
 }
 
 func BenchmarkTable7_CSRMM_NN(b *testing.B) {
+	b.ReportAllocs()
 	spD, dn := benchSparsePair(192)
 	sp := sparse.FromDense(spD, 0)
 	b.ResetTimer()
@@ -183,6 +192,7 @@ func BenchmarkTable7_CSRMM_NN(b *testing.B) {
 }
 
 func BenchmarkTable7_CSRMM_NT(b *testing.B) {
+	b.ReportAllocs()
 	spD, dn := benchSparsePair(192)
 	sp := sparse.FromDense(spD, 0)
 	b.ResetTimer()
@@ -192,6 +202,7 @@ func BenchmarkTable7_CSRMM_NT(b *testing.B) {
 }
 
 func BenchmarkTable7_CSRMM_TN(b *testing.B) {
+	b.ReportAllocs()
 	spD, dn := benchSparsePair(192)
 	sp := sparse.FromDense(spD, 0)
 	b.ResetTimer()
@@ -201,6 +212,7 @@ func BenchmarkTable7_CSRMM_TN(b *testing.B) {
 }
 
 func BenchmarkTable7_GEMMI(b *testing.B) {
+	b.ReportAllocs()
 	spD, dn := benchSparsePair(192)
 	spc := sparse.FromDense(spD, 0).ToCSC()
 	b.ResetTimer()
@@ -212,6 +224,7 @@ func BenchmarkTable7_GEMMI(b *testing.B) {
 // ── Table 8: the F·gR·E three-matrix product ──
 
 func BenchmarkTable8_GEMMGEMM(b *testing.B) {
+	b.ReportAllocs()
 	f, g := benchSparsePair(192)
 	e, _ := benchSparsePair(192)
 	b.ResetTimer()
@@ -221,6 +234,7 @@ func BenchmarkTable8_GEMMGEMM(b *testing.B) {
 }
 
 func BenchmarkTable8_CSRMM_GEMMI(b *testing.B) {
+	b.ReportAllocs()
 	fD, g := benchSparsePair(192)
 	eD, _ := benchSparsePair(192)
 	f := sparse.FromDense(fD, 0)
@@ -233,6 +247,7 @@ func BenchmarkTable8_CSRMM_GEMMI(b *testing.B) {
 }
 
 func BenchmarkTable8_CSRMM_CSRMM(b *testing.B) {
+	b.ReportAllocs()
 	fD, g := benchSparsePair(192)
 	eD, _ := benchSparsePair(192)
 	f := sparse.FromDense(fD, 0)
@@ -259,6 +274,7 @@ func benchBatch(n, count int) (a, bb, c []complex128) {
 }
 
 func BenchmarkTable9_Padded(b *testing.B) {
+	b.ReportAllocs()
 	a, bb, c := benchBatch(12, 4096)
 	b.SetBytes(int64(len(a) * 16 * 3))
 	b.ResetTimer()
@@ -268,6 +284,7 @@ func BenchmarkTable9_Padded(b *testing.B) {
 }
 
 func BenchmarkTable9_SBSMM(b *testing.B) {
+	b.ReportAllocs()
 	a, bb, c := benchBatch(12, 4096)
 	b.SetBytes(int64(len(a) * 16 * 3))
 	b.ResetTimer()
@@ -277,6 +294,7 @@ func BenchmarkTable9_SBSMM(b *testing.B) {
 }
 
 func BenchmarkTable9_SBSMMHalf(b *testing.B) {
+	b.ReportAllocs()
 	a, bb, c := benchBatch(12, 4096)
 	ha := batch.EncodeHalf(a, 12, 4096)
 	hb := batch.EncodeHalf(bb, 12, 4096)
@@ -289,6 +307,7 @@ func BenchmarkTable9_SBSMMHalf(b *testing.B) {
 // ── Table 10: single-node GF and SSE phases ──
 
 func BenchmarkTable10_GFPhase(b *testing.B) {
+	b.ReportAllocs()
 	s := negf.New(benchDevice(), negf.DefaultOptions())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -299,6 +318,7 @@ func BenchmarkTable10_GFPhase(b *testing.B) {
 }
 
 func BenchmarkTable10_SSE_OMEN(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -307,6 +327,7 @@ func BenchmarkTable10_SSE_OMEN(b *testing.B) {
 }
 
 func BenchmarkTable10_SSE_DaCe(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -317,18 +338,21 @@ func BenchmarkTable10_SSE_DaCe(b *testing.B) {
 // ── Tables 11–12 and Figs 8–9: scaling model ──
 
 func BenchmarkTable11_Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Table11()
 	}
 }
 
 func BenchmarkTable12_PerAtom(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Table12()
 	}
 }
 
 func BenchmarkFigure8_ScalingModel(b *testing.B) {
+	b.ReportAllocs()
 	m := model.Summit()
 	for i := 0; i < b.N; i++ {
 		_ = model.StrongScaling(m, []int{114, 500, 1000, 1400})
@@ -337,6 +361,7 @@ func BenchmarkFigure8_ScalingModel(b *testing.B) {
 }
 
 func BenchmarkFigure9_ExtremeScale(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = model.Figure9([]int{3420, 6840, 13680, 27360})
 	}
@@ -345,6 +370,7 @@ func BenchmarkFigure9_ExtremeScale(b *testing.B) {
 // ── Fig 7: mixed-precision SSE ──
 
 func BenchmarkFigure7_SSEMixed(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -355,6 +381,7 @@ func BenchmarkFigure7_SSEMixed(b *testing.B) {
 // ── Fig 10: roofline ──
 
 func BenchmarkFigure10_Roofline(b *testing.B) {
+	b.ReportAllocs()
 	p := device.Large(21)
 	for i := 0; i < b.N; i++ {
 		_ = model.Roofline(p)
@@ -364,8 +391,26 @@ func BenchmarkFigure10_Roofline(b *testing.B) {
 // ── Fig 11: the full self-consistent electro-thermal solve ──
 
 func BenchmarkFigure11_SelfConsistentIteration(b *testing.B) {
+	b.ReportAllocs()
 	dev := benchDevice()
 	s := negf.New(dev, negf.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.GFPhase(); err != nil {
+			b.Fatal(err)
+		}
+		s.SSEPhase()
+	}
+}
+
+// BenchmarkNEGFIteration is the canonical hot-loop benchmark: one full
+// sequential GF↔SSE self-consistent iteration (all electron and phonon
+// RGF solves, the DaCe SSE kernel, and the Σ≷/Π≷ mixing). allocs/op here
+// is the headline number of the workspace-pooled kernels — see the
+// README performance section and BENCH_5.json for the tracked trajectory.
+func BenchmarkNEGFIteration(b *testing.B) {
+	b.ReportAllocs()
+	s := negf.New(benchDevice(), negf.DefaultOptions())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.GFPhase(); err != nil {
@@ -381,6 +426,7 @@ func BenchmarkFigure11_SelfConsistentIteration(b *testing.B) {
 // 4 simulated ranks for two iterations — the end-to-end cost the paper's
 // distributed solver pays per convergence step.
 func BenchmarkDistributedLoop(b *testing.B) {
+	b.ReportAllocs()
 	dev := benchDevice()
 	opts := dist.DefaultOptions(4)
 	opts.MaxIter = 2
@@ -400,6 +446,7 @@ func BenchmarkDistributedLoop(b *testing.B) {
 // ── §7.1.1: data ingestion ──
 
 func BenchmarkIngestion_ChunkedBcast(b *testing.B) {
+	b.ReportAllocs()
 	data := make([]complex128, 1<<14)
 	b.SetBytes(int64(len(data) * 16))
 	b.ResetTimer()

@@ -50,10 +50,13 @@ func vecLen(p device.Params) int {
 }
 
 // pack serializes the partial into the real parts of a complex vector,
-// the currency of the comm runtime.
+// the currency of the comm runtime. The capacity hint counts every field
+// vecLen counts — including the 3 control words (failure flag + 2 byte
+// counters) — so the per-iteration Allreduce payload is built with a
+// single allocation instead of reallocating mid-append.
 func (po *partialObs) pack() []complex128 {
 	out := make([]complex128, 0,
-		6+len(po.ifaceCur)+len(po.ifaceEn)+len(po.phIfaceEn)+len(po.diss)+len(po.spectral)+4)
+		6+len(po.ifaceCur)+len(po.ifaceEn)+len(po.phIfaceEn)+len(po.diss)+len(po.spectral)+4+3)
 	put := func(vs ...float64) {
 		for _, v := range vs {
 			out = append(out, complex(v, 0))

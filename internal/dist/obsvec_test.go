@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sse"
+)
+
+// TestPackLenMatchesVecLen pins the pack/vecLen contract for a spread of
+// device shapes: the packed observable vector must come out at exactly
+// vecLen entries, and — the regression of the capacity-hint bug — must be
+// built in one allocation, i.e. the hint must already cover the 3 control
+// words (failure flag + 2 byte counters) that vecLen counts.
+func TestPackLenMatchesVecLen(t *testing.T) {
+	params := []device.Params{
+		{Bnum: 2, NE: 1},
+		{Bnum: 3, NE: 8},
+		{Bnum: 4, NE: 16},
+		{Bnum: 7, NE: 33},
+		{Bnum: 152, NE: 650}, // paper-scale shape
+	}
+	for _, p := range params {
+		po := newPartialObs(p)
+		po.flag, po.sseB, po.redB = 1, 2, 3
+		po.sse = sse.Stats{MatMuls: 4, Flops: 5, ScalarOps: 6, BytesMoved: 7}
+		v := po.pack()
+		if len(v) != vecLen(p) {
+			t.Errorf("Bnum=%d NE=%d: len(pack()) = %d, want vecLen = %d",
+				p.Bnum, p.NE, len(v), vecLen(p))
+		}
+		if cap(v) != vecLen(p) {
+			t.Errorf("Bnum=%d NE=%d: cap(pack()) = %d, want exactly vecLen = %d (capacity hint must cover the control words)",
+				p.Bnum, p.NE, cap(v), vecLen(p))
+		}
+	}
+}
+
+// TestPackUnpackRoundTrip checks that every field — including the control
+// words the capacity bug clipped out of the hint — survives pack/unpack.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p := device.Params{Bnum: 3, NE: 5}
+	po := newPartialObs(p)
+	po.currentL, po.currentR = 1.5, -2.5
+	po.energyL, po.phononEnergyL = 3.25, 4.75
+	po.elLoss, po.phGain = -0.125, 0.375
+	for i := range po.ifaceCur {
+		po.ifaceCur[i] = float64(i) + 0.1
+		po.ifaceEn[i] = float64(i) + 0.2
+		po.phIfaceEn[i] = float64(i) + 0.3
+	}
+	for i := range po.diss {
+		po.diss[i] = float64(i) - 0.4
+	}
+	for i := range po.spectral {
+		po.spectral[i] = float64(i) * 0.5
+	}
+	po.sse = sse.Stats{MatMuls: 11, Flops: 22, ScalarOps: 33, BytesMoved: 44}
+	po.flag, po.sseB, po.redB = 1, 1024, 2048
+
+	got := unpackObs(po.pack(), p)
+	if *gotCmp(got) != *gotCmp(po) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, po)
+	}
+	for i := range po.ifaceCur {
+		if got.ifaceCur[i] != po.ifaceCur[i] || got.ifaceEn[i] != po.ifaceEn[i] || got.phIfaceEn[i] != po.phIfaceEn[i] {
+			t.Fatalf("profile %d mismatch", i)
+		}
+	}
+	for i := range po.diss {
+		if got.diss[i] != po.diss[i] {
+			t.Fatalf("diss %d mismatch", i)
+		}
+	}
+	for i := range po.spectral {
+		if got.spectral[i] != po.spectral[i] {
+			t.Fatalf("spectral %d mismatch", i)
+		}
+	}
+}
+
+// gotCmp projects the scalar fields into a comparable struct.
+func gotCmp(po *partialObs) *struct {
+	a, b, c, d, e, f float64
+	s                sse.Stats
+	g, h, i          float64
+} {
+	return &struct {
+		a, b, c, d, e, f float64
+		s                sse.Stats
+		g, h, i          float64
+	}{po.currentL, po.currentR, po.energyL, po.phononEnergyL, po.elLoss, po.phGain,
+		po.sse, po.flag, po.sseB, po.redB}
+}

@@ -34,6 +34,7 @@ func benchDevice(b *testing.B) *device.Device {
 }
 
 func benchSchedule(b *testing.B, sched Schedule, workers int) {
+	b.ReportAllocs()
 	dev := benchDevice(b)
 	opts := DefaultOptions(4)
 	opts.Schedule = sched

@@ -100,7 +100,14 @@ func GEMM(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex12
 	} else if opA == ConjTrans {
 		aEff = a.H()
 	}
+	gemmDispatch(alpha, aEff, bEff, beta, c)
+}
 
+// gemmDispatch runs C = alpha·A·B + beta·C with both operands already in
+// natural orientation, fanning out across row stripes for large problems.
+// Shared by the allocating GEMM and the workspace-pooled Workspace.GEMM.
+func gemmDispatch(alpha complex128, aEff, bEff *Matrix, beta complex128, c *Matrix) {
+	m, n, k := c.Rows, c.Cols, aEff.Cols
 	work := int64(m) * int64(n) * int64(k)
 	if work < parallelThreshold {
 		gemmStripe(alpha, aEff, bEff, beta, c, 0, m)

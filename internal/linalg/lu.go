@@ -17,6 +17,14 @@ type LU struct {
 	signs int // parity of the permutation, for determinants
 }
 
+// NewLU allocates an LU record with storage for n×n factorizations. The
+// record is reusable: successive FactorizeInto calls overwrite the packed
+// factors and pivots in place, so the hot RGF loop refactorizes without
+// heap traffic.
+func NewLU(n int) *LU {
+	return &LU{lu: New(n, n), pivot: make([]int, n)}
+}
+
 // Factorize computes the LU factorization of a (which is not modified).
 // The retarded Green's function solve (E·S − H − Σᴿ)·Gᴿ = I in the RGF
 // kernel reduces to factorizations of the per-block effective Hamiltonian.
@@ -24,11 +32,32 @@ func Factorize(a *Matrix) (*LU, error) {
 	if !a.IsSquare() {
 		return nil, errors.New("linalg: Factorize requires a square matrix")
 	}
-	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f := &LU{lu: a.Clone(), pivot: make([]int, a.Rows)}
+	if err := f.factorize(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto recomputes the factorization of a into f's existing
+// storage without allocating — the workspace path of the RGF kernel
+// (obtain f once with Workspace.LUFor, refactorize every block). The
+// arithmetic is identical to Factorize, so the factors are bit-identical.
+func (f *LU) FactorizeInto(a *Matrix) error {
+	if !a.IsSquare() || a.Rows != f.lu.Rows {
+		return errors.New("linalg: FactorizeInto dimension mismatch")
+	}
+	f.lu.CopyFrom(a)
+	return f.factorize()
+}
+
+// factorize runs the pivoted elimination on the matrix already stored in
+// f.lu, overwriting it with the packed factors.
+func (f *LU) factorize() error {
+	n := f.lu.Rows
+	piv := f.pivot
 	signs := 1
-	d := lu.Data
+	d := f.lu.Data
 	countFlops(8 * int64(n) * int64(n) * int64(n) * 2 / 3)
 	for col := 0; col < n; col++ {
 		// Partial pivot: largest magnitude in this column at or below the diagonal.
@@ -40,7 +69,7 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		piv[col] = p
 		if p != col {
@@ -52,19 +81,20 @@ func Factorize(a *Matrix) (*LU, error) {
 		}
 		inv := 1 / d[col*n+col]
 		for r := col + 1; r < n; r++ {
-			f := d[r*n+col] * inv
-			d[r*n+col] = f
-			if f == 0 {
+			fac := d[r*n+col] * inv
+			d[r*n+col] = fac
+			if fac == 0 {
 				continue
 			}
 			rr := d[r*n : (r+1)*n]
 			rc := d[col*n : (col+1)*n]
 			for j := col + 1; j < n; j++ {
-				rr[j] -= f * rc[j]
+				rr[j] -= fac * rc[j]
 			}
 		}
 	}
-	return &LU{lu: lu, pivot: piv, signs: signs}, nil
+	f.signs = signs
+	return nil
 }
 
 // Solve computes X such that A·X = B for the factorized A. B is not modified.
@@ -136,6 +166,14 @@ func (f *LU) Det() complex128 {
 		det *= f.lu.Data[i*n+i]
 	}
 	return det
+}
+
+// InverseInto overwrites dst with the inverse of the factorized matrix:
+// dst is set to the identity and solved in place, exactly the sequence
+// Inverse performs on a fresh matrix.
+func (f *LU) InverseInto(dst *Matrix) {
+	dst.SetIdentity()
+	f.SolveInPlace(dst)
 }
 
 // Inverse returns A⁻¹ for square A, or ErrSingular.

@@ -97,14 +97,48 @@ func (m *Matrix) T() *Matrix {
 
 // H returns a newly allocated Hermitian conjugate (conjugate transpose) of m.
 func (m *Matrix) H() *Matrix {
-	t := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+	return HInto(New(m.Cols, m.Rows), m)
+}
+
+// TInto stores aᵀ into dst without allocating and returns dst.
+// dst must not alias a.
+func TInto(dst, a *Matrix) *Matrix {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("linalg: TInto shape mismatch %dx%d <- (%dx%d)ᵀ", dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
 		for j, v := range row {
-			t.Data[j*t.Cols+i] = cmplx.Conj(v)
+			dst.Data[j*dst.Cols+i] = v
 		}
 	}
-	return t
+	return dst
+}
+
+// HInto stores aᴴ into dst without allocating and returns dst.
+// dst must not alias a.
+func HInto(dst, a *Matrix) *Matrix {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("linalg: HInto shape mismatch %dx%d <- (%dx%d)ᴴ", dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = cmplx.Conj(v)
+		}
+	}
+	return dst
+}
+
+// SetIdentity overwrites square m with the identity matrix.
+func (m *Matrix) SetIdentity() {
+	if !m.IsSquare() {
+		panic("linalg: SetIdentity of non-square matrix")
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
 }
 
 // Conj returns a newly allocated elementwise complex conjugate of m.

@@ -10,7 +10,6 @@ import (
 	"repro/internal/blocktri"
 	"repro/internal/device"
 	"repro/internal/linalg"
-	"repro/internal/rgf"
 )
 
 // ElectronPointResult carries the observables extracted from one (kz, E)
@@ -94,9 +93,13 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 	nb := p.Bnum
 	bs := p.ElBlockSize()
 
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+
 	// A = (E+iη)·S − H − Σᴿ_B − Σᴿ_S. S = I in the orthonormal basis but
-	// the same assembly holds for general S.
-	a := blocktri.New(h.Sizes)
+	// the same assembly holds for general S. The scratch assembly is
+	// overwritten in full, so reuse changes no values.
+	a, sigL, sigG := sc.electron(h.Sizes)
 	for i := 0; i < nb; i++ {
 		linalg.Scale(a.Diag[i], -1, h.Diag[i])
 		for r := 0; r < bs; r++ {
@@ -127,15 +130,10 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
 
 	// Lesser/greater injections: boundary (Fermi-filled broadening) plus
-	// the scattering self-energies from the previous SSE phase.
+	// the scattering self-energies from the previous SSE phase. The
+	// scratch injection blocks arrive zeroed.
 	fL := device.FermiDirac(e, p.MuL(), p.TC)
 	fR := device.FermiDirac(e, p.MuR(), p.TC)
-	sigL := make([]*linalg.Matrix, nb)
-	sigG := make([]*linalg.Matrix, nb)
-	for i := 0; i < nb; i++ {
-		sigL[i] = linalg.New(bs, bs)
-		sigG[i] = linalg.New(bs, bs)
-	}
 	linalg.AXPY(sigL[0], complex(0, fL), left.Gamma)
 	linalg.AXPY(sigG[0], complex(0, -(1-fL)), left.Gamma)
 	linalg.AXPY(sigL[nb-1], complex(0, fR), right.Gamma)
@@ -163,7 +161,7 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 		}
 	}
 
-	sol, err := rgf.Solve(&rgf.Problem{A: a, SigL: sigL, SigG: sigG})
+	sol, err := sc.solveRGF(a, sigL, sigG)
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/blocktri"
 	"repro/internal/device"
 	"repro/internal/linalg"
-	"repro/internal/rgf"
 )
 
 // PhononPointResult carries observables from one (qz, ω) solve.
@@ -97,7 +96,10 @@ func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*Phonon
 	nb := p.Bnum
 	bs := p.PhBlockSize()
 
-	a := blocktri.New(phi.Sizes)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+
+	a, sigL, sigG := sc.phonon(phi.Sizes)
 	for i := 0; i < nb; i++ {
 		linalg.Scale(a.Diag[i], -1, phi.Diag[i])
 		for r := 0; r < bs; r++ {
@@ -133,21 +135,16 @@ func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*Phonon
 	// land inside the slab diagonal; cross-slab neighbours in Upper/Lower).
 	s.scatterPiRetarded(a, iq, m)
 
-	// Equilibrium contacts: Π<_B = −i·n_B·Γ, Π>_B = −i·(n_B+1)·Γ.
+	// Equilibrium contacts: Π<_B = −i·n_B·Γ, Π>_B = −i·(n_B+1)·Γ. The
+	// scratch injection blocks arrive zeroed.
 	n := device.BoseEinstein(omega, p.TC)
-	sigL := make([]*linalg.Matrix, nb)
-	sigG := make([]*linalg.Matrix, nb)
-	for i := 0; i < nb; i++ {
-		sigL[i] = linalg.New(bs, bs)
-		sigG[i] = linalg.New(bs, bs)
-	}
 	linalg.AXPY(sigL[0], complex(0, -n), left.Gamma)
 	linalg.AXPY(sigG[0], complex(0, -(n+1)), left.Gamma)
 	linalg.AXPY(sigL[nb-1], complex(0, -n), right.Gamma)
 	linalg.AXPY(sigG[nb-1], complex(0, -(n+1)), right.Gamma)
 	s.scatterPiInjections(sigL, sigG, iq, m)
 
-	sol, err := rgf.Solve(&rgf.Problem{A: a, SigL: sigL, SigG: sigG})
+	sol, err := sc.solveRGF(a, sigL, sigG)
 	if err != nil {
 		return nil, err
 	}

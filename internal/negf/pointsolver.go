@@ -2,9 +2,13 @@ package negf
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/bc"
+	"repro/internal/blocktri"
 	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/rgf"
 	"repro/internal/tensor"
 )
 
@@ -25,6 +29,98 @@ type PointSolver struct {
 	// the next GF phase).
 	SigL, SigG *tensor.Electron
 	PiL, PiG   *tensor.Phonon
+
+	// scratch pools one solveScratch per concurrently running point solve:
+	// the linalg workspace, the reusable RGF solution, and the assembly
+	// storage. Each checkout is owned by exactly one worker goroutine for
+	// the duration of one point solve (the per-worker ownership rule of
+	// linalg.Workspace), so the parallel GF phase and the dist rank
+	// workers never share scratch.
+	scratch sync.Pool
+}
+
+// solveScratch is the reusable per-worker state of one point solve. After
+// the first solve every field is warm: the workspace pool covers all RGF
+// temporaries, the assemblies are overwritten in place, and the Solution
+// slices are recycled — the steady-state point solve allocates nothing.
+type solveScratch struct {
+	ws   *linalg.Workspace
+	sol  *rgf.Solution
+	prob rgf.Problem
+
+	// Electron assembly: A = (E+iη)·S − H − Σᴿ and the Σ≷ injections.
+	elA            *blocktri.Matrix
+	elSigL, elSigG []*linalg.Matrix
+	// Phonon assembly: A = (ω+iη)²·I − Φ − Πᴿ and the Π≷ injections.
+	phA            *blocktri.Matrix
+	phSigL, phSigG []*linalg.Matrix
+}
+
+// getScratch checks a solveScratch out of the pool (allocating the first
+// time a worker needs one); putScratch returns it.
+func (ps *PointSolver) getScratch() *solveScratch {
+	if sc, _ := ps.scratch.Get().(*solveScratch); sc != nil {
+		return sc
+	}
+	return &solveScratch{ws: linalg.NewWorkspace()}
+}
+
+func (ps *PointSolver) putScratch(sc *solveScratch) { ps.scratch.Put(sc) }
+
+// electron returns the reusable electron assembly for the given block
+// sizes: the A matrix blocks are fully overwritten by the caller, the Σ≷
+// injection blocks are returned zeroed — exactly the state fresh
+// allocations would have.
+func (sc *solveScratch) electron(sizes []int) (*blocktri.Matrix, []*linalg.Matrix, []*linalg.Matrix) {
+	sc.elA, sc.elSigL, sc.elSigG = ensureAssembly(sc.elA, sc.elSigL, sc.elSigG, sizes)
+	return sc.elA, sc.elSigL, sc.elSigG
+}
+
+// phonon is electron for the phonon assembly.
+func (sc *solveScratch) phonon(sizes []int) (*blocktri.Matrix, []*linalg.Matrix, []*linalg.Matrix) {
+	sc.phA, sc.phSigL, sc.phSigG = ensureAssembly(sc.phA, sc.phSigL, sc.phSigG, sizes)
+	return sc.phA, sc.phSigL, sc.phSigG
+}
+
+func ensureAssembly(a *blocktri.Matrix, sigL, sigG []*linalg.Matrix, sizes []int) (*blocktri.Matrix, []*linalg.Matrix, []*linalg.Matrix) {
+	if a != nil && sameSizes(a.Sizes, sizes) {
+		for i := range sigL {
+			sigL[i].Zero()
+			sigG[i].Zero()
+		}
+		return a, sigL, sigG
+	}
+	a = blocktri.New(sizes)
+	sigL = make([]*linalg.Matrix, len(sizes))
+	sigG = make([]*linalg.Matrix, len(sizes))
+	for i, s := range sizes {
+		sigL[i] = linalg.New(s, s)
+		sigG[i] = linalg.New(s, s)
+	}
+	return a, sigL, sigG
+}
+
+func sameSizes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveRGF runs the workspace-pooled RGF recursion on the scratch.
+func (sc *solveScratch) solveRGF(a *blocktri.Matrix, sigL, sigG []*linalg.Matrix) (*rgf.Solution, error) {
+	sc.prob.A, sc.prob.SigL, sc.prob.SigG = a, sigL, sigG
+	sol, err := rgf.SolveInto(&sc.prob, sc.ws, sc.sol)
+	if err != nil {
+		return nil, err
+	}
+	sc.sol = sol
+	return sol, nil
 }
 
 // NewPointSolver allocates full-shape zeroed tensors for dev and a fresh

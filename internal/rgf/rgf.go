@@ -33,7 +33,10 @@ type Problem struct {
 	SigG []*linalg.Matrix
 }
 
-// Solution holds the computed Green's function blocks.
+// Solution holds the computed Green's function blocks. A Solution returned
+// by SolveInto is backed by the workspace that produced it: its blocks are
+// valid until that workspace's next Reset (i.e. the next SolveInto on it),
+// so callers harvest what they need before solving the next point.
 type Solution struct {
 	// Diagonal blocks, one per slab.
 	GR, GL, GG []*linalg.Matrix
@@ -41,117 +44,218 @@ type Solution struct {
 	GRUpper, GRLower []*linalg.Matrix
 	GLUpper, GLLower []*linalg.Matrix
 	GGUpper, GGLower []*linalg.Matrix
+
+	// scratch keeps the right-connected g-function slices alive across
+	// calls so a reused Solution costs no per-solve slice allocations.
+	gR, gL, gG []*linalg.Matrix
 }
 
-// Solve runs the forward/backward RGF recursion.
+// resize (re)shapes the block slices for nb slabs, reusing prior storage.
+func (s *Solution) resize(nb int) {
+	grow := func(v []*linalg.Matrix, n int) []*linalg.Matrix {
+		if cap(v) >= n {
+			return v[:n]
+		}
+		return make([]*linalg.Matrix, n)
+	}
+	s.GR, s.GL, s.GG = grow(s.GR, nb), grow(s.GL, nb), grow(s.GG, nb)
+	s.GRUpper, s.GRLower = grow(s.GRUpper, nb-1), grow(s.GRLower, nb-1)
+	s.GLUpper, s.GLLower = grow(s.GLUpper, nb-1), grow(s.GLLower, nb-1)
+	s.GGUpper, s.GGLower = grow(s.GGUpper, nb-1), grow(s.GGLower, nb-1)
+	s.gR, s.gL, s.gG = grow(s.gR, nb), grow(s.gL, nb), grow(s.gG, nb)
+}
+
+// Solve runs the forward/backward RGF recursion, allocating a fresh
+// workspace and solution — the convenience wrapper over SolveInto for
+// one-off solves (tests, oracles). Hot callers reuse a per-worker
+// workspace instead.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveInto(p, linalg.NewWorkspace(), nil)
+}
+
+// SolveInto runs the forward/backward RGF recursion with every temporary —
+// effective blocks, LU storage, Hermitian conjugates, Σ≷ accumulators, and
+// the Solution blocks themselves — checked out of ws, so a warm workspace
+// solves without heap allocation. It Resets ws on entry: matrices obtained
+// from ws earlier, including the blocks of a Solution a previous SolveInto
+// on the same workspace returned, are recycled. sol, when non-nil, has its
+// slices reused; pass the previous call's Solution for an allocation-free
+// steady state. Results are bit-identical to Solve.
+func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, error) {
 	a := p.A
 	nb := a.NB
 	if len(p.SigL) != nb || len(p.SigG) != nb {
 		return nil, fmt.Errorf("rgf: self-energy block count %d/%d != %d", len(p.SigL), len(p.SigG), nb)
 	}
+	ws.Reset()
+	if sol == nil {
+		sol = &Solution{}
+	}
+	sol.resize(nb)
 
 	// Backward pass: right-connected g-functions.
-	gR := make([]*linalg.Matrix, nb)
-	gL := make([]*linalg.Matrix, nb)
-	gG := make([]*linalg.Matrix, nb)
-	var err error
+	gR, gL, gG := sol.gR, sol.gL, sol.gG
 	for i := nb - 1; i >= 0; i-- {
-		eff := a.Diag[i].Clone()
+		n := a.Sizes[i]
+		eff := ws.Get(n, n)
+		eff.CopyFrom(a.Diag[i])
 		if i+1 < nb {
 			// Embed the right part: A_ii − A_{i,i+1}·gR_{i+1}·A_{i+1,i}.
-			w := linalg.Mul3(a.Upper[i], gR[i+1], a.Lower[i])
+			w := ws.Get(n, n)
+			ws.Mul3Into(w, a.Upper[i], gR[i+1], a.Lower[i])
 			linalg.Sub(eff, eff, w)
+			ws.Put(w)
 		}
-		gR[i], err = linalg.Inverse(eff)
-		if err != nil {
+		f := ws.LUFor(n)
+		if err := f.FactorizeInto(eff); err != nil {
 			return nil, fmt.Errorf("rgf: singular effective block %d: %w", i, err)
 		}
-		gA := gR[i].H()
-		sigL := sigOrZero(p.SigL[i], a.Sizes[i])
-		sigG := sigOrZero(p.SigG[i], a.Sizes[i])
+		gR[i] = ws.Get(n, n)
+		f.InverseInto(gR[i])
+		ws.Put(eff)
+		gA := linalg.HInto(ws.Get(n, n), gR[i])
+
+		// Σ≷ accumulated in place: start from the caller's block (or zero
+		// for a nil block) and add the right-part injection — no zero
+		// matrix materialized per nil block, no second fresh destination.
+		sL := ws.Get(n, n)
+		if p.SigL[i] == nil {
+			sL.Zero()
+		} else {
+			sL.CopyFrom(p.SigL[i])
+		}
+		sG := ws.Get(n, n)
+		if p.SigG[i] == nil {
+			sG.Zero()
+		} else {
+			sG.CopyFrom(p.SigG[i])
+		}
 		if i+1 < nb {
 			// Injection from the already-eliminated right part:
-			// σ≷ += A_{i,i+1}·g≷_{i+1}·A_{i,i+1}ᴴ.
+			// σ≷ += A_{i,i+1}·g≷_{i+1}·A_{i,i+1}ᴴ, associated (up·g≷)·upᴴ.
 			up := a.Upper[i]
-			sigL = linalg.Add(linalg.New(sigL.Rows, sigL.Cols), sigL, linalg.Mul3(up, gL[i+1], up.H()))
-			sigG = linalg.Add(linalg.New(sigG.Rows, sigG.Cols), sigG, linalg.Mul3(up, gG[i+1], up.H()))
+			m := a.Sizes[i+1]
+			upH := linalg.HInto(ws.Get(m, n), up)
+			t := ws.Get(n, m)
+			prod := ws.Get(n, n)
+			linalg.MulInto(t, up, gL[i+1])
+			linalg.MulInto(prod, t, upH)
+			linalg.Add(sL, sL, prod)
+			linalg.MulInto(t, up, gG[i+1])
+			linalg.MulInto(prod, t, upH)
+			linalg.Add(sG, sG, prod)
+			ws.Put(t)
+			ws.Put(prod)
+			ws.Put(upH)
 		}
-		gL[i] = linalg.Mul3(gR[i], sigL, gA)
-		gG[i] = linalg.Mul3(gR[i], sigG, gA)
+		// g≷ = gR·σ≷·gA, associated (gR·σ≷)·gA.
+		t := ws.Get(n, n)
+		gL[i] = ws.Get(n, n)
+		linalg.MulInto(t, gR[i], sL)
+		linalg.MulInto(gL[i], t, gA)
+		gG[i] = ws.Get(n, n)
+		linalg.MulInto(t, gR[i], sG)
+		linalg.MulInto(gG[i], t, gA)
+		ws.Put(t)
+		ws.Put(sL)
+		ws.Put(sG)
+		ws.Put(gA)
 	}
 
-	s := &Solution{
-		GR: make([]*linalg.Matrix, nb), GL: make([]*linalg.Matrix, nb), GG: make([]*linalg.Matrix, nb),
-		GRUpper: make([]*linalg.Matrix, nb-1), GRLower: make([]*linalg.Matrix, nb-1),
-		GLUpper: make([]*linalg.Matrix, nb-1), GLLower: make([]*linalg.Matrix, nb-1),
-		GGUpper: make([]*linalg.Matrix, nb-1), GGLower: make([]*linalg.Matrix, nb-1),
-	}
+	s := sol
 	// Forward pass: accumulate the left-connected full G blocks.
 	s.GR[0] = gR[0]
 	s.GL[0] = gL[0]
 	s.GG[0] = gG[0]
 	for i := 0; i+1 < nb; i++ {
+		n, m := a.Sizes[i], a.Sizes[i+1]
 		up, lo := a.Upper[i], a.Lower[i]
 		gRn, gLn, gGn := gR[i+1], gL[i+1], gG[i+1]
-		gAn := gRn.H()
-		GAi := s.GR[i].H()
+		GRi, GLi, GGi := s.GR[i], s.GL[i], s.GG[i]
+		gAn := linalg.HInto(ws.Get(m, m), gRn)
+		GAi := linalg.HInto(ws.Get(n, n), GRi)
+		loH := linalg.HInto(ws.Get(n, m), lo)
+		upH := linalg.HInto(ws.Get(m, n), up)
+
+		// Products the recursion uses repeatedly; the allocating path
+		// recomputed them identically, so sharing changes no bits.
+		gRnLo := linalg.MulInto(ws.Get(m, n), gRn, lo)   // gR_{i+1}·A_{i+1,i}
+		u1 := linalg.MulInto(ws.Get(m, n), gRnLo, GRi)   // (gR·A_lo)·GR_ii
+		loHgAn := linalg.MulInto(ws.Get(n, m), loH, gAn) // A_loᴴ·gA
+		GRiUp := linalg.MulInto(ws.Get(n, m), GRi, up)   // GR_ii·A_{i,i+1}
 
 		// Retarded off-diagonals and diagonal update.
-		s.GRLower[i] = linalg.Scale(nil2(gRn.Rows, s.GR[i].Cols), -1, linalg.Mul3(gRn, lo, s.GR[i]))
-		s.GRUpper[i] = linalg.Scale(nil2(s.GR[i].Rows, gRn.Cols), -1, linalg.Mul3(s.GR[i], up, gRn))
+		s.GRLower[i] = linalg.Scale(ws.Get(m, n), -1, u1)
+		s.GRUpper[i] = ws.Get(n, m)
+		linalg.MulInto(s.GRUpper[i], GRiUp, gRn)
+		linalg.Scale(s.GRUpper[i], -1, s.GRUpper[i])
 		// GR_{i+1,i+1} = gR + gR·A_{i+1,i}·GR_ii·A_{i,i+1}·gR.
-		corr := linalg.Mul(linalg.Mul3(gRn, lo, s.GR[i]), linalg.Mul(up, gRn))
-		s.GR[i+1] = linalg.Add(linalg.New(gRn.Rows, gRn.Cols), gRn, corr)
+		upgRn := linalg.MulInto(ws.Get(n, m), up, gRn)
+		corr := linalg.MulInto(ws.Get(m, m), u1, upgRn)
+		s.GR[i+1] = ws.Get(m, m)
+		linalg.Add(s.GR[i+1], gRn, corr)
+		ws.Put(upgRn)
+		ws.Put(corr)
 
 		// Lesser/greater off-diagonals:
 		// G≷_{i,i+1} = −GR_ii·A_{i,i+1}·g≷_{i+1} − G≷_ii·A_{i+1,i}ᴴ·gA_{i+1}
 		// G≷_{i+1,i} = −(G≷_{i,i+1})ᴴ (anti-Hermiticity of G≷).
-		loH := lo.H()
-		s.GLUpper[i] = offDiagLesser(s.GR[i], up, gLn, s.GL[i], loH, gAn)
-		s.GGUpper[i] = offDiagLesser(s.GR[i], up, gGn, s.GG[i], loH, gAn)
-		s.GLLower[i] = linalg.Scale(nil2(gRn.Rows, s.GR[i].Cols), -1, s.GLUpper[i].H())
-		s.GGLower[i] = linalg.Scale(nil2(gRn.Rows, s.GR[i].Cols), -1, s.GGUpper[i].H())
+		offDiag := func(dst, gn, Gi *linalg.Matrix) {
+			t1 := linalg.MulInto(ws.Get(n, m), GRiUp, gn)
+			tA := linalg.MulInto(ws.Get(n, m), Gi, loH)
+			t2 := linalg.MulInto(ws.Get(n, m), tA, gAn)
+			linalg.Add(dst, t1, t2)
+			linalg.Scale(dst, -1, dst)
+			ws.Put(t1)
+			ws.Put(tA)
+			ws.Put(t2)
+		}
+		s.GLUpper[i] = ws.Get(n, m)
+		offDiag(s.GLUpper[i], gLn, GLi)
+		s.GGUpper[i] = ws.Get(n, m)
+		offDiag(s.GGUpper[i], gGn, GGi)
+		s.GLLower[i] = linalg.HInto(ws.Get(m, n), s.GLUpper[i])
+		linalg.Scale(s.GLLower[i], -1, s.GLLower[i])
+		s.GGLower[i] = linalg.HInto(ws.Get(m, n), s.GGUpper[i])
+		linalg.Scale(s.GGLower[i], -1, s.GGLower[i])
 
 		// Diagonal lesser/greater update:
 		// G≷_{i+1,i+1} = g≷ + gR·A_lo·G≷_ii·A_loᴴ·gA
 		//              + gR·A_lo·GR_ii·A_up·g≷ + g≷·A_upᴴ·GA_ii·A_loᴴ·gA.
-		upH := up.H()
-		s.GL[i+1] = diagLesser(gRn, lo, s.GL[i], s.GR[i], up, gLn, gAn, GAi, upH, loH)
-		s.GG[i+1] = diagLesser(gRn, lo, s.GG[i], s.GR[i], up, gGn, gAn, GAi, upH, loH)
+		diag := func(dst, gn, Gi *linalg.Matrix) {
+			dst.CopyFrom(gn)
+			tb := linalg.MulInto(ws.Get(m, n), gRnLo, Gi)
+			t := linalg.MulInto(ws.Get(m, m), tb, loHgAn)
+			linalg.AXPY(dst, 1, t)
+			tup := linalg.MulInto(ws.Get(n, m), up, gn)
+			linalg.MulInto(t, u1, tup)
+			linalg.AXPY(dst, 1, t)
+			tc := linalg.MulInto(ws.Get(m, n), gn, upH)
+			td := linalg.MulInto(ws.Get(m, n), tc, GAi)
+			linalg.MulInto(t, td, loHgAn)
+			linalg.AXPY(dst, 1, t)
+			ws.Put(tb)
+			ws.Put(t)
+			ws.Put(tup)
+			ws.Put(tc)
+			ws.Put(td)
+		}
+		s.GL[i+1] = ws.Get(m, m)
+		diag(s.GL[i+1], gLn, GLi)
+		s.GG[i+1] = ws.Get(m, m)
+		diag(s.GG[i+1], gGn, GGi)
+
+		ws.Put(gAn)
+		ws.Put(GAi)
+		ws.Put(loH)
+		ws.Put(upH)
+		ws.Put(gRnLo)
+		ws.Put(u1)
+		ws.Put(loHgAn)
+		ws.Put(GRiUp)
 	}
 	return s, nil
 }
-
-func offDiagLesser(GRi, up, gLn, GLi, loH, gAn *linalg.Matrix) *linalg.Matrix {
-	t1 := linalg.Mul3(GRi, up, gLn)
-	t2 := linalg.Mul3(GLi, loH, gAn)
-	out := linalg.Add(linalg.New(t1.Rows, t1.Cols), t1, t2)
-	return linalg.Scale(out, -1, out)
-}
-
-func diagLesser(gRn, lo, GLi, GRi, up, gLn, gAn, GAi, upH, loH *linalg.Matrix) *linalg.Matrix {
-	out := gLn.Clone()
-	// gR·A_lo·G≷_ii·A_loᴴ·gA
-	t := linalg.Mul(linalg.Mul3(gRn, lo, GLi), linalg.Mul(loH, gAn))
-	linalg.AXPY(out, 1, t)
-	// gR·A_lo·GR_ii·A_up·g≷
-	t = linalg.Mul(linalg.Mul3(gRn, lo, GRi), linalg.Mul(up, gLn))
-	linalg.AXPY(out, 1, t)
-	// g≷·A_upᴴ·GA_ii·A_loᴴ·gA
-	t = linalg.Mul(linalg.Mul3(gLn, upH, GAi), linalg.Mul(loH, gAn))
-	linalg.AXPY(out, 1, t)
-	return out
-}
-
-func sigOrZero(s *linalg.Matrix, n int) *linalg.Matrix {
-	if s == nil {
-		return linalg.New(n, n)
-	}
-	return s
-}
-
-func nil2(r, c int) *linalg.Matrix { return linalg.New(r, c) }
 
 // DenseReference solves the same problem by dense inversion:
 // Gᴿ = A⁻¹, G≷ = Gᴿ·Σ≷·Gᴬ — the validation oracle for RGF.

@@ -146,6 +146,109 @@ func TestNilSigmaBlocksTreatedAsZero(t *testing.T) {
 	}
 }
 
+// TestSolveIntoMatchesSolveBitwise checks the workspace path is a pure
+// memory-management change: interleaved SolveInto calls on one reused
+// workspace+solution reproduce fresh Solve results bit for bit, with no
+// state leaking between problems of different shapes.
+func TestSolveIntoMatchesSolveBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	problems := []*Problem{
+		randomProblem(rng, []int{3, 4, 3}),
+		randomProblem(rng, []int{2, 5, 3, 4}),
+		randomProblem(rng, []int{4, 4, 4, 4}),
+		randomProblem(rng, []int{3, 4, 3}), // same shape as the first: exercises warm-pool reuse
+	}
+	ws := linalg.NewWorkspace()
+	var sol *Solution
+	for round := 0; round < 2; round++ {
+		for pi, p := range problems {
+			want, err := Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err = SolveInto(p, ws, sol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(name string, got, ref []*linalg.Matrix) {
+				for i := range ref {
+					if d := linalg.MaxDiff(got[i], ref[i]); d != 0 {
+						t.Fatalf("round %d problem %d: %s[%d] differs by %g", round, pi, name, i, d)
+					}
+				}
+			}
+			check("GR", sol.GR, want.GR)
+			check("GL", sol.GL, want.GL)
+			check("GG", sol.GG, want.GG)
+			check("GRUpper", sol.GRUpper, want.GRUpper)
+			check("GRLower", sol.GRLower, want.GRLower)
+			check("GLUpper", sol.GLUpper, want.GLUpper)
+			check("GLLower", sol.GLLower, want.GLLower)
+			check("GGUpper", sol.GGUpper, want.GGUpper)
+			check("GGLower", sol.GGLower, want.GGLower)
+		}
+	}
+}
+
+// TestNilSigmaAllBlocks is the regression for the backward-pass nil-Σ≷
+// handling: every injection nil — the shape the bare-Hamiltonian RGF
+// benchmark and the ballistic limit produce — must equal explicit zero
+// blocks everywhere, including the contact slabs.
+func TestNilSigmaAllBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	base := randomProblem(rng, []int{3, 4, 3})
+	nb := base.A.NB
+	pNil := &Problem{A: base.A, SigL: make([]*linalg.Matrix, nb), SigG: make([]*linalg.Matrix, nb)}
+	pZero := &Problem{A: base.A, SigL: make([]*linalg.Matrix, nb), SigG: make([]*linalg.Matrix, nb)}
+	for i := 0; i < nb; i++ {
+		pZero.SigL[i] = linalg.New(base.A.Sizes[i], base.A.Sizes[i])
+		pZero.SigG[i] = linalg.New(base.A.Sizes[i], base.A.Sizes[i])
+	}
+	sNil, err := Solve(pNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sZero, err := Solve(pZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nb; i++ {
+		if linalg.MaxDiff(sNil.GL[i], sZero.GL[i]) != 0 || linalg.MaxDiff(sNil.GG[i], sZero.GG[i]) != 0 {
+			t.Fatalf("all-nil and all-zero Σ≷ differ at block %d", i)
+		}
+		if linalg.MaxDiff(sNil.GR[i], sZero.GR[i]) != 0 {
+			t.Fatalf("GR differs at block %d", i)
+		}
+	}
+	// G≷ must be exactly zero with no injections anywhere.
+	for i := 0; i < nb; i++ {
+		if sNil.GL[i].MaxAbs() != 0 || sNil.GG[i].MaxAbs() != 0 {
+			t.Fatalf("ballistic-limit G≷[%d] nonzero with all-nil Σ≷", i)
+		}
+	}
+}
+
+// TestSolveIntoSteadyStateAllocs pins the tentpole: after the first solve
+// warms the pool, SolveInto performs (essentially) no heap allocation.
+func TestSolveIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := randomProblem(rng, []int{8, 8, 8, 8})
+	ws := linalg.NewWorkspace()
+	var sol *Solution
+	var err error
+	if sol, err = SolveInto(p, ws, sol); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if sol, err = SolveInto(p, ws, sol); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("warm SolveInto allocates %.1f times per solve, want ≤ 2", allocs)
+	}
+}
+
 func TestSigmaCountValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	p := randomProblem(rng, []int{2, 2})
@@ -182,7 +285,30 @@ func TestFlopEstimateMatchesPaperFormula(t *testing.T) {
 	}
 }
 
+// BenchmarkRGFSolve measures the production hot path: the workspace-pooled
+// SolveInto on a warm per-worker workspace, the way negf.PointSolver and
+// the dist rank workers call it. allocs/op ≈ 0 is the tentpole invariant
+// tracked in BENCH_5.json.
 func BenchmarkRGFSolve(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, []int{32, 32, 32, 32, 32, 32, 32, 32})
+	ws := linalg.NewWorkspace()
+	var sol *Solution
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sol, err = SolveInto(p, ws, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRGFSolveColdWorkspace is the allocating baseline (fresh
+// workspace and solution every solve) — the before side of the
+// BENCH_5.json comparison, kept so the pool's win stays measurable.
+func BenchmarkRGFSolveColdWorkspace(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	p := randomProblem(rng, []int{32, 32, 32, 32, 32, 32, 32, 32})
 	b.ResetTimer()

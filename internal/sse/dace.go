@@ -137,7 +137,12 @@ func daceCompute(in *Input, q *quantizer, restr *restriction) *Output {
 		vL := newTransient(nkz, ne, bl)   // Σ-stage accumulators, per j
 		vG := newTransient(nkz, ne, bl)
 		cBuf := make([]complex128, ne*bl) // SBSMM output row
-		gm := linalg.FromSlice(norb, norb, make([]complex128, bl))
+		// Loop-hoisted operand/destination headers, rebound to each block's
+		// backing slice: the innermost (i, kz, E) iteration used to allocate
+		// four fresh FromSlice headers per neighbour per point, pure GC churn
+		// around zero-copy views.
+		gm := &linalg.Matrix{Rows: norb, Cols: norb}
+		pm := &linalg.Matrix{Rows: norb, Cols: norb}
 
 		for slotAB, b := range in.Dev.Neigh[a] {
 			slotBA := in.Dev.NeighbourSlot(b, a)
@@ -149,17 +154,17 @@ func daceCompute(in *Input, q *quantizer, restr *restriction) *Output {
 				for ik := 0; ik < nkz; ik++ {
 					for ie := 0; ie < ne; ie++ {
 						gm.Data = gBlock(true, ik, ie, b)
-						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0,
-							linalg.FromSlice(norb, norb, pLab.block(i, ik, ie)))
+						pm.Data = pLab.block(i, ik, ie)
+						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0, pm)
 						gm.Data = gBlock(false, ik, ie, b)
-						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0,
-							linalg.FromSlice(norb, norb, pGab.block(i, ik, ie)))
+						pm.Data = pGab.block(i, ik, ie)
+						linalg.GEMM(1, gab, linalg.NoTrans, gm, linalg.NoTrans, 0, pm)
 						gm.Data = gBlock(true, ik, ie, a)
-						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0,
-							linalg.FromSlice(norb, norb, pLba.block(i, ik, ie)))
+						pm.Data = pLba.block(i, ik, ie)
+						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0, pm)
 						gm.Data = gBlock(false, ik, ie, a)
-						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0,
-							linalg.FromSlice(norb, norb, pGba.block(i, ik, ie)))
+						pm.Data = pGba.block(i, ik, ie)
+						linalg.GEMM(1, gba, linalg.NoTrans, gm, linalg.NoTrans, 0, pm)
 						localMuls += 4
 					}
 				}
