@@ -1,0 +1,88 @@
+// Command qtd is the multi-tenant simulation daemon: it serves the qt
+// facade over HTTP/JSON, streams per-iteration telemetry as server-sent
+// events, schedules runs through a fair-share queue onto a bounded pool
+// of solver slots, answers repeated specs from a content-addressed
+// result cache (and warm-starts near-identical ones from cached
+// converged Σ≷ states), and records every run in a persistent registry.
+//
+// API (all under /v1):
+//
+//	POST   /runs              submit {tenant, priority, config}; 202 queued,
+//	                          200 cached, 429 + Retry-After when shedding.
+//	                          ?stream=sse streams run/iter/done frames and
+//	                          cancels the run if the client hangs up.
+//	GET    /runs              query the registry (?tenant= &status= &key= &limit=)
+//	GET    /runs/{id}         one registry record
+//	DELETE /runs/{id}         cancel a queued or running run
+//	GET    /runs/{id}/stream  attach to (or replay) the telemetry stream
+//	GET    /runs/{id}/report  the rendered report (?format=text|json|csv)
+//	GET    /stats             queue, slot, and cache counters
+//	GET    /healthz           liveness
+//
+// Example:
+//
+//	qtd -addr :8080 -data ./qtd-data -slots 4
+//	curl -s localhost:8080/v1/runs -d '{"tenant":"acme","config":{"spec":{"atoms":24,"slabs":6}}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "run registry directory (empty = in-memory only)")
+	slots := flag.Int("slots", 0, "concurrent solver slots (0 = half the CPUs, min 2)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity")
+	cacheCap := flag.Int("cache", 128, "result cache capacity (entries)")
+	noWarm := flag.Bool("no-warm-start", false, "disable warm-starting from cached Σ≷ states")
+	flag.Parse()
+
+	svc, err := server.New(server.Config{
+		Slots: *slots, QueueCap: *queueCap, CacheCap: *cacheCap,
+		DataDir: *data, NoWarmStart: *noWarm,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtd:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("qtd: listening on %s (registry: %s)", *addr, registryLabel(*data))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "qtd:", err)
+		os.Exit(1)
+	case s := <-sig:
+		log.Printf("qtd: %s, shutting down", s)
+	}
+
+	// Cancel in-flight runs first (their SSE streams terminate and the
+	// registry records them as cancelled), then drain the HTTP side.
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+}
+
+func registryLabel(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

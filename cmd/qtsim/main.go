@@ -62,26 +62,25 @@ func main() {
 		qt.WithMaxIterations(*iters),
 		qt.WithTolerance(*tol),
 	}
-	switch *kernel {
-	case "dace":
-	case "omen":
-		opts = append(opts, qt.WithKernel(qt.Baseline))
-	case "mixed":
+	// -kernel mixed is precision shorthand, everything else goes through
+	// the shared spelling parser.
+	if *kernel == "mixed" {
 		opts = append(opts, qt.WithPrecision(qt.Mixed))
-	default:
-		fmt.Fprintf(os.Stderr, "qtsim: unknown kernel %q (want omen, dace, or mixed)\n", *kernel)
-		os.Exit(2)
-	}
-	if *ranks > 0 {
-		opts = append(opts, qt.WithRanks(*ranks))
-		switch *schedule {
-		case "phases":
-		case "overlap":
-			opts = append(opts, qt.WithSchedule(qt.Overlap))
-		default:
-			fmt.Fprintf(os.Stderr, "qtsim: unknown schedule %q (want phases or overlap)\n", *schedule)
+	} else {
+		k, err := qt.ParseKernel(*kernel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qtsim: %v (or mixed)\n", err)
 			os.Exit(2)
 		}
+		opts = append(opts, qt.WithKernel(k))
+	}
+	if *ranks > 0 {
+		sched, err := qt.ParseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qtsim:", err)
+			os.Exit(2)
+		}
+		opts = append(opts, qt.WithRanks(*ranks), qt.WithSchedule(sched))
 	}
 
 	sim, err := qt.New(spec, opts...)

@@ -1,0 +1,238 @@
+package qt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunConfig is the exported, JSON-stable form of a resolved experiment
+// configuration: the defaulted Spec plus every option knob, each in its
+// flag spelling. It is what the qtd service accepts as a request body
+// and records in the run registry, and what the content-addressed result
+// cache hashes — so the field set and JSON names are a wire format.
+//
+// The zero value of every knob means "option absent" (the facade
+// default), mirroring how an unset functional option leaves the default
+// in place; booleans are therefore spelled in their non-default
+// direction (NoBoundaryCache). Two facade knobs have no RunConfig form:
+// WithSSEKernel (an injected Go value cannot be serialized; Config drops
+// it) and an explicit zero bias (Spec.Bias = 0 means the Spec default,
+// exactly as in Spec itself — WithBias(0) is option-only).
+type RunConfig struct {
+	Spec Spec `json:"spec"`
+
+	Ranks     int    `json:"ranks,omitempty"`     // 0 = sequential solver
+	Schedule  string `json:"schedule,omitempty"`  // ParseSchedule spellings
+	Precision string `json:"precision,omitempty"` // ParsePrecision spellings
+	Kernel    string `json:"kernel,omitempty"`    // ParseKernel spellings
+
+	MaxIterations   int     `json:"max_iterations,omitempty"`
+	Tolerance       float64 `json:"tolerance,omitempty"`
+	Mixing          float64 `json:"mixing,omitempty"`
+	NoBoundaryCache bool    `json:"no_boundary_cache,omitempty"`
+	Anderson        bool    `json:"anderson,omitempty"`
+	TileA           int     `json:"tile_a,omitempty"`
+	TileE           int     `json:"tile_e,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	ErrorProbe      bool    `json:"error_probe,omitempty"`
+}
+
+// Config exports the simulation's resolved configuration: the defaulted
+// Spec and every non-default knob. NewFromConfig(sim.Config()) rebuilds
+// an equivalent simulation, and two simulations with the same resolved
+// configuration report identical Configs regardless of the option order
+// or spelling that produced them.
+func (s *Simulation) Config() RunConfig {
+	c := s.cfg
+	// Report the resolved tile split (1×P when unset), so a defaulted and
+	// an explicitly default-tiled configuration share one key.
+	ta, te := s.Tiles()
+	rc := RunConfig{
+		Spec:            s.Spec,
+		Ranks:           c.ranks,
+		MaxIterations:   c.maxIter,
+		Tolerance:       c.tol,
+		Mixing:          c.mixing,
+		NoBoundaryCache: !c.cacheBC,
+		Anderson:        c.anderson,
+		TileA:           ta,
+		TileE:           te,
+		Workers:         c.workers,
+		ErrorProbe:      c.errorProbe,
+	}
+	if c.schedule != Phases {
+		rc.Schedule = c.schedule.String()
+	}
+	if c.precision != FP64 {
+		rc.Precision = c.precision.String()
+	}
+	if c.kernel != DataCentric {
+		rc.Kernel = c.kernel.String()
+	}
+	return rc
+}
+
+// Options lowers the RunConfig back into the functional options it
+// stands for. Zero-valued knobs produce no option, so a hand-written
+// partial RunConfig gets the same defaults as a hand-written option
+// list.
+func (rc RunConfig) Options() ([]Option, error) {
+	var opts []Option
+	if rc.Ranks > 0 {
+		opts = append(opts, WithRanks(rc.Ranks))
+	}
+	if rc.Schedule != "" {
+		sch, err := ParseSchedule(rc.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		if sch != Phases {
+			opts = append(opts, WithSchedule(sch))
+		}
+	}
+	if rc.Precision != "" {
+		p, err := ParsePrecision(rc.Precision)
+		if err != nil {
+			return nil, err
+		}
+		if p != FP64 {
+			opts = append(opts, WithPrecision(p))
+		}
+	}
+	if rc.Kernel != "" {
+		k, err := ParseKernel(rc.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		if k != DataCentric {
+			opts = append(opts, WithKernel(k))
+		}
+	}
+	if rc.MaxIterations > 0 {
+		opts = append(opts, WithMaxIterations(rc.MaxIterations))
+	}
+	if rc.Tolerance > 0 {
+		opts = append(opts, WithTolerance(rc.Tolerance))
+	}
+	if rc.Mixing > 0 {
+		opts = append(opts, WithMixing(rc.Mixing))
+	}
+	if rc.NoBoundaryCache {
+		opts = append(opts, WithBoundaryCache(false))
+	}
+	if rc.Anderson {
+		opts = append(opts, WithAnderson())
+	}
+	if rc.TileA != 0 || rc.TileE != 0 {
+		opts = append(opts, WithTiles(rc.TileA, rc.TileE))
+	}
+	if rc.Workers > 0 {
+		opts = append(opts, WithWorkers(rc.Workers))
+	}
+	if rc.ErrorProbe {
+		opts = append(opts, WithErrorProbe())
+	}
+	return opts, nil
+}
+
+// NewFromConfig builds the simulation a RunConfig describes — the
+// deserialization path of the service layer. Extra options (e.g.
+// WithWarmStart, which has no serialized form) apply after the config's
+// own.
+func NewFromConfig(rc RunConfig, extra ...Option) (*Simulation, error) {
+	opts, err := rc.Options()
+	if err != nil {
+		return nil, fmt.Errorf("qt: %w", err)
+	}
+	return New(rc.Spec, append(opts, extra...)...)
+}
+
+// Key returns the canonical content hash of the configuration: the
+// SHA-256 of its JSON form re-serialized with recursively sorted object
+// keys, so the hash is independent of field order and stable across
+// struct reordering. Semantically identical configurations share a key
+// only when both are resolved (Simulation.Config output); hash resolved
+// configs, not raw request bodies.
+func (rc RunConfig) Key() string { return rc.hash(false) }
+
+// WarmKey is Key with the bias removed from the hash: it names the
+// family of configurations identical up to Vds — the near-identical
+// neighbours whose converged Σ≷ state a warm start may be seeded from.
+func (rc RunConfig) WarmKey() string { return rc.hash(true) }
+
+func (rc RunConfig) hash(dropBias bool) string {
+	b, err := json.Marshal(rc)
+	if err != nil {
+		panic("qt: RunConfig not marshalable: " + err.Error())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		panic("qt: RunConfig JSON not an object: " + err.Error())
+	}
+	if dropBias {
+		if spec, ok := m["spec"].(map[string]any); ok {
+			delete(spec, "bias")
+		}
+	}
+	h := sha256.New()
+	writeCanonical(h, m)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key returns the canonical content hash of the defaulted Spec alone —
+// the structure-level identity. RunConfig.Key covers the full resolved
+// configuration and is what the service cache keys on.
+func (s Spec) Key() string {
+	b, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		panic("qt: Spec not marshalable: " + err.Error())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		panic("qt: Spec JSON not an object: " + err.Error())
+	}
+	h := sha256.New()
+	writeCanonical(h, m)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams a parsed-JSON value with sorted object keys —
+// a canonical byte form to hash, independent of the encoder's field
+// order.
+func writeCanonical(w io.Writer, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		io.WriteString(w, "{")
+		for i, k := range keys {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			kb, _ := json.Marshal(k)
+			w.Write(kb)
+			io.WriteString(w, ":")
+			writeCanonical(w, t[k])
+		}
+		io.WriteString(w, "}")
+	case []any:
+		io.WriteString(w, "[")
+		for i, e := range t {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			writeCanonical(w, e)
+		}
+		io.WriteString(w, "]")
+	default:
+		b, _ := json.Marshal(t)
+		w.Write(b)
+	}
+}

@@ -1,0 +1,168 @@
+package qt
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleAndKernel(t *testing.T) {
+	schedCases := []struct {
+		in   string
+		want Schedule
+		err  bool
+	}{
+		{"phases", Phases, false},
+		{"", Phases, false},
+		{"overlap", Overlap, false},
+		{"bulk", Phases, true},
+	}
+	for _, tc := range schedCases {
+		got, err := ParseSchedule(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseSchedule(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	kernCases := []struct {
+		in   string
+		want Kernel
+		err  bool
+	}{
+		{"dace", DataCentric, false},
+		{"", DataCentric, false},
+		{"omen", Baseline, false},
+		{"mixed", DataCentric, true}, // mixed is a precision, not a kernel
+	}
+	for _, tc := range kernCases {
+		got, err := ParseKernel(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
+// TestRunConfigRoundTrip pins the satellite contract: the resolved
+// option set survives Config → JSON → Unmarshal → NewFromConfig → Config
+// unchanged, for a representative cell of every solver path.
+func TestRunConfigRoundTrip(t *testing.T) {
+	cases := map[string][]Option{
+		"defaults":   nil,
+		"sequential": {WithTolerance(1e-4), WithMaxIterations(7), WithMixing(0.3), WithAnderson(), WithBoundaryCache(false)},
+		"baseline":   {WithKernel(Baseline), WithBias(0.1)},
+		"distributed": {WithRanks(4), WithSchedule(Overlap), WithWorkers(2),
+			WithTiles(2, 2), WithPrecision(Mixed), WithErrorProbe()},
+	}
+	for name, opts := range cases {
+		t.Run(name, func(t *testing.T) {
+			sim, err := New(smallSpec(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc := sim.Config()
+
+			b, err := json.Marshal(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back RunConfig
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rc, back) {
+				t.Fatalf("JSON round trip changed the config:\n was %+v\n got %+v", rc, back)
+			}
+
+			sim2, err := NewFromConfig(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc2 := sim2.Config()
+			if !reflect.DeepEqual(rc, rc2) {
+				t.Fatalf("NewFromConfig round trip changed the config:\n was %+v\n got %+v", rc, rc2)
+			}
+			if rc.Key() != rc2.Key() {
+				t.Fatalf("round trip changed the key: %s vs %s", rc.Key(), rc2.Key())
+			}
+		})
+	}
+}
+
+func TestRunConfigKey(t *testing.T) {
+	base := func() *Simulation {
+		sim, err := New(smallSpec(), WithRanks(4), WithPrecision(Mixed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	// Identical resolved configurations share a key, independent of the
+	// option order that produced them.
+	a := base().Config()
+	simB, err := New(smallSpec(), WithPrecision(Mixed), WithRanks(4), WithTiles(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := simB.Config(); a.Key() != b.Key() {
+		t.Errorf("equivalent configurations hash differently:\n %s\n %s", a.Key(), b.Key())
+	}
+
+	// Any knob change must change the key.
+	variants := map[string][]Option{
+		"ranks":     {WithRanks(2), WithPrecision(Mixed)},
+		"precision": {WithRanks(4)},
+		"schedule":  {WithRanks(4), WithPrecision(Mixed), WithSchedule(Overlap)},
+		"tolerance": {WithRanks(4), WithPrecision(Mixed), WithTolerance(1e-7)},
+		"bias":      {WithRanks(4), WithPrecision(Mixed), WithBias(0.17)},
+	}
+	for name, opts := range variants {
+		sim, err := New(smallSpec(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Config().Key() == a.Key() {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+
+	// WarmKey ignores exactly the bias: neighbouring-bias configs share
+	// a family, any other change splits it.
+	biasSim, err := New(smallSpec(), WithRanks(4), WithPrecision(Mixed), WithBias(0.17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WarmKey() != biasSim.Config().WarmKey() {
+		t.Error("WarmKey differs across bias values")
+	}
+	tolSim, err := New(smallSpec(), WithRanks(4), WithPrecision(Mixed), WithTolerance(1e-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WarmKey() == tolSim.Config().WarmKey() {
+		t.Error("WarmKey ignores more than the bias")
+	}
+
+	// The canonical hash is independent of JSON object key order: a
+	// config decoded from reordered JSON hashes identically.
+	rc := a
+	b, _ := json.Marshal(rc)
+	if !strings.HasPrefix(string(b), "{") {
+		t.Fatalf("unexpected JSON form %s", b)
+	}
+	var back RunConfig
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != rc.Key() {
+		t.Error("key not stable across decode")
+	}
+
+	// Spec.Key: default-filled and explicit-default specs coincide.
+	if (Spec{}).Key() != (Spec{Atoms: 24, Slabs: 6, Orbitals: 2}).Key() {
+		t.Error("Spec.Key does not normalize defaults")
+	}
+	if (Spec{}).Key() == smallSpec().Key() {
+		t.Error("different specs share a key")
+	}
+}

@@ -29,6 +29,7 @@ type config struct {
 	ta, te     int // distributed SSE tile split (0 = inferred)
 	workers    int // 0 = dist default
 	errorProbe bool
+	warm       *SigmaState // sequential-only Σ≷/Π≷ seed; nil = cold start
 }
 
 func defaultConfig(spec Spec) config {
@@ -208,6 +209,24 @@ func WithErrorProbe() Option {
 	}
 }
 
+// WithWarmStart seeds the self-consistent loop with a previous run's
+// scattering self-energy state instead of the cold Σ≷ = Π≷ = 0 ballistic
+// guess — the near-identical-request accelerator of the qtd result
+// cache: a converged neighbouring-bias state starts the loop close to
+// its fixed point, cutting the iteration count. Sequential solver only;
+// the state's tensor shapes must match the Spec's device (checked by
+// New). The seed is copied at Start, so one cached state can seed many
+// concurrent runs.
+func WithWarmStart(st *SigmaState) Option {
+	return func(c *config) error {
+		if st == nil {
+			return fmt.Errorf("WithWarmStart: state must be non-nil")
+		}
+		c.warm = st
+		return nil
+	}
+}
+
 // validate cross-checks the assembled configuration.
 func (c *config) validate() error {
 	if err := c.params.Validate(); err != nil {
@@ -232,6 +251,9 @@ func (c *config) validate() error {
 		}
 	} else {
 		// Distributed solver.
+		if c.warm != nil {
+			return fmt.Errorf("WithWarmStart requires the sequential solver")
+		}
 		if c.kernel == Baseline {
 			return fmt.Errorf("WithKernel(Baseline) requires the sequential solver: the distributed SSE exchange is data-centric by construction")
 		}

@@ -41,18 +41,21 @@ import (
 // defaults (the paper-scale-down FinFET slice used across the repo);
 // execution knobs — solver selection, precision, tolerances — are
 // options on New, not Spec fields.
+// The JSON field names are part of the service wire format (the qtd
+// request body and registry records serialize Spec through RunConfig)
+// and must stay stable.
 type Spec struct {
-	Atoms    int // total atoms (default 24)
-	Slabs    int // block-tridiagonal slabs (default 6)
-	Orbitals int // orbitals per atom (default 2)
+	Atoms    int `json:"atoms,omitempty"`    // total atoms (default 24)
+	Slabs    int `json:"slabs,omitempty"`    // block-tridiagonal slabs (default 6)
+	Orbitals int `json:"orbitals,omitempty"` // orbitals per atom (default 2)
 
-	MomentumPoints int     // Nkz = Nqz (default 3)
-	EnergyPoints   int     // NE (default 24)
-	PhononModes    int     // Nω (default 4)
-	Bias           float64 // Vds in eV (default 0.3; WithBias sets any value, including 0)
-	Temperature    float64 // contact temperature in K (default 300)
-	Coupling       float64 // electron-phonon strength (default 0.08)
-	Seed           uint64  // structure seed (default 0x5eed)
+	MomentumPoints int     `json:"momentum_points,omitempty"` // Nkz = Nqz (default 3)
+	EnergyPoints   int     `json:"energy_points,omitempty"`   // NE (default 24)
+	PhononModes    int     `json:"phonon_modes,omitempty"`    // Nω (default 4)
+	Bias           float64 `json:"bias,omitempty"`            // Vds in eV (default 0.3; WithBias sets any value, including 0)
+	Temperature    float64 `json:"temperature,omitempty"`     // contact temperature in K (default 300)
+	Coupling       float64 `json:"coupling,omitempty"`        // electron-phonon strength (default 0.08)
+	Seed           uint64  `json:"seed,omitempty"`            // structure seed (default 0x5eed)
 }
 
 // withDefaults fills zero fields.
@@ -139,6 +142,20 @@ func (s Schedule) String() string {
 	return "phases"
 }
 
+// ParseSchedule maps the command-line spelling to a Schedule — the
+// symmetric partner of ParsePrecision/ParseKernel, so every cmd (and the
+// qtd request decoder) shares one set of spellings. The empty string is
+// the default schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "phases", "":
+		return Phases, nil
+	case "overlap":
+		return Overlap, nil
+	}
+	return Phases, fmt.Errorf("qt: unknown schedule %q (want phases or overlap)", s)
+}
+
 // Precision selects the SSE arithmetic (§5.4).
 type Precision int
 
@@ -188,4 +205,16 @@ func (k Kernel) String() string {
 		return "omen"
 	}
 	return "dace"
+}
+
+// ParseKernel maps the command-line spelling to a Kernel. The empty
+// string is the default (data-centric) kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "dace", "":
+		return DataCentric, nil
+	case "omen":
+		return Baseline, nil
+	}
+	return DataCentric, fmt.Errorf("qt: unknown kernel %q (want omen or dace)", s)
 }

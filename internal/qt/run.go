@@ -92,6 +92,11 @@ type Result struct {
 	// per-rank work distribution; both are nil for sequential runs.
 	Comm *comm.Stats     `json:"comm,omitempty"`
 	Load []dist.RankLoad `json:"load,omitempty"`
+	// FinalState is the Σ≷/Π≷ state the sequential loop ended on — the
+	// artifact WithWarmStart seeds a near-identical run from. Nil for
+	// distributed runs; never serialized (it is solver state, not a
+	// result row).
+	FinalState *SigmaState `json:"-"`
 }
 
 // Run is the handle of one in-flight solve.
@@ -167,16 +172,34 @@ func (s *Simulation) runSequential(ctx context.Context, r *Run) (*Result, error)
 		r.emit(u)
 		return ctx.Err()
 	}))
+	if w := s.cfg.warm; w != nil {
+		// Seed the loop with the warm Σ≷/Π≷ state (copied: the shared
+		// cache artifact may seed many concurrent runs).
+		copy(solver.SigL.Data, w.SigL.Data)
+		copy(solver.SigG.Data, w.SigG.Data)
+		copy(solver.PiL.Data, w.PiL.Data)
+		copy(solver.PiG.Data, w.PiG.Data)
+	}
+	finalState := func() *SigmaState {
+		return (&SigmaState{
+			SigL: solver.SigL, SigG: solver.SigG,
+			PiL: solver.PiL, PiG: solver.PiG,
+		}).Clone()
+	}
 	obs, err := solver.Run()
 	switch {
 	case err == nil, errors.Is(err, negf.ErrNotConverged):
 		// Converged or capped: both carry valid observables.
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
-		return s.summarize(obs, trace, err == nil, nil, nil), ctx.Err()
+		res := s.summarize(obs, trace, err == nil, nil, nil)
+		res.FinalState = finalState()
+		return res, ctx.Err()
 	default:
 		return nil, err
 	}
-	return s.summarize(obs, trace, err == nil, nil, nil), nil
+	res := s.summarize(obs, trace, err == nil, nil, nil)
+	res.FinalState = finalState()
+	return res, nil
 }
 
 // runDistributed drives the dist solver under the facade contract.

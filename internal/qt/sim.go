@@ -37,6 +37,11 @@ func New(spec Spec, opts ...Option) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qt: %w", err)
 	}
+	if cfg.warm != nil {
+		if err := cfg.warm.compatible(dev); err != nil {
+			return nil, fmt.Errorf("qt: WithWarmStart: %w", err)
+		}
+	}
 	// Reflect option-level overrides back into the exported Spec so it
 	// always reports what is actually solved.
 	spec.Bias = cfg.params.Vds

@@ -1,0 +1,69 @@
+package qt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmStartFewerIterations pins the warm-start contract the qtd
+// result cache depends on: seeding a run with the converged Σ≷/Π≷ state
+// of the same configuration converges almost immediately, and seeding a
+// neighbouring-bias run (the near-identical request) converges in fewer
+// iterations than the cold start.
+func TestWarmStartFewerIterations(t *testing.T) {
+	spec := smallSpec()
+	opts := []Option{WithTolerance(1e-6), WithMaxIterations(40)}
+
+	_, cold := solve(t, spec, opts...)
+	if !cold.Converged {
+		t.Fatal("cold run did not converge")
+	}
+	if cold.FinalState == nil {
+		t.Fatal("sequential run did not capture its final Σ≷ state")
+	}
+	if cold.Iterations < 3 {
+		t.Fatalf("cold run too easy (%d iterations) to measure warm-start gains", cold.Iterations)
+	}
+
+	// Same configuration, warm seed: the loop starts at its fixed point.
+	_, self := solve(t, spec, append(opts[:len(opts):len(opts)], WithWarmStart(cold.FinalState))...)
+	if !self.Converged {
+		t.Fatal("self-seeded run did not converge")
+	}
+	if self.Iterations > 2 {
+		t.Errorf("self-seeded run took %d iterations, want <= 2", self.Iterations)
+	}
+
+	// Neighbouring bias: cold vs warm-started from the first run's state.
+	shifted := append(opts[:len(opts):len(opts)], WithBias(spec.withDefaults().Bias+0.02))
+	_, coldN := solve(t, spec, shifted...)
+	_, warmN := solve(t, spec, append(shifted[:len(shifted):len(shifted)], WithWarmStart(cold.FinalState))...)
+	if !coldN.Converged || !warmN.Converged {
+		t.Fatalf("neighbour runs did not converge (cold %v, warm %v)", coldN.Converged, warmN.Converged)
+	}
+	if warmN.Iterations >= coldN.Iterations {
+		t.Errorf("warm start did not help: cold %d iterations, warm %d", coldN.Iterations, warmN.Iterations)
+	}
+}
+
+// TestWarmStartValidation: the option is sequential-only and
+// shape-checked against the device.
+func TestWarmStartValidation(t *testing.T) {
+	_, res := solve(t, smallSpec(), WithMaxIterations(2), WithTolerance(1e-300))
+	st := res.FinalState
+
+	if _, err := New(smallSpec(), WithRanks(2), WithWarmStart(st)); err == nil ||
+		!strings.Contains(err.Error(), "sequential") {
+		t.Errorf("distributed warm start not rejected: %v", err)
+	}
+	if _, err := New(Spec{Atoms: 24, Slabs: 6}, WithWarmStart(st)); err == nil ||
+		!strings.Contains(err.Error(), "shape") {
+		t.Errorf("shape mismatch not rejected: %v", err)
+	}
+	if _, err := New(smallSpec(), WithWarmStart(nil)); err == nil {
+		t.Error("nil state not rejected")
+	}
+	if _, err := New(smallSpec(), WithWarmStart(st)); err != nil {
+		t.Errorf("matching warm start rejected: %v", err)
+	}
+}

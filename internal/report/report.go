@@ -38,6 +38,32 @@ func (f Format) String() string {
 // Formats lists the supported encodings in flag spelling.
 var Formats = []string{"text", "json", "csv"}
 
+// ContentType returns the HTTP media type of the encoding — the
+// Content-Type header qtd pairs with Write when a report is a response
+// body.
+func (f Format) ContentType() string {
+	switch f {
+	case JSON:
+		return "application/json"
+	case CSV:
+		return "text/csv"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// SSE writes one server-sent event frame, "event: <name>" with a
+// JSON-encoded data line — the wire form of qtd's live telemetry stream
+// (one frame per IterStats, then a terminal frame with the summary).
+func SSE(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
 // ParseFormat maps the command-line spelling to a Format.
 func ParseFormat(s string) (Format, error) {
 	switch s {

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/qt"
+	"repro/internal/report"
+)
+
+// submitRequest is the POST /v1/runs body.
+type submitRequest struct {
+	Tenant   string       `json:"tenant"`
+	Priority int          `json:"priority"`
+	Config   qt.RunConfig `json:"config"`
+}
+
+// ServeHTTP makes the Server an http.Handler (what cmd/qtd mounts).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ServiceStats())
+}
+
+// handleSubmit admits one run. With ?stream=sse the response is a live
+// server-sent event stream whose disconnection cancels the run; without
+// it the queued (202) or cached (200) registry record is returned and
+// the run proceeds detached.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "anonymous"
+	}
+	stream := r.URL.Query().Get("stream") == "sse"
+
+	rec, j, err := s.submit(req.Tenant, req.Priority, req.Config)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter().Seconds())))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if j == nil { // answered from the content-addressed cache
+		if stream {
+			s.replayStream(w, rec)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	if stream {
+		// The submitting client owns the run: hanging up cancels it.
+		s.streamJob(w, r, j, true)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	q := Query{
+		Tenant:  qp.Get("tenant"),
+		Status:  Status(qp.Get("status")),
+		Key:     qp.Get("key"),
+		WarmKey: qp.Get("warm_key"),
+	}
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		q.Limit = n
+	}
+	recs := s.reg.List(q)
+	writeJSON(w, http.StatusOK, map[string]any{"runs": recs, "count": len(recs)})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.cancelRun(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleStream attaches to a run's telemetry without owning it: a
+// finished run replays its recorded trace, a live one streams from the
+// current iteration on. Disconnecting does not cancel the run.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := s.jobByID(id); ok {
+		s.streamJob(w, r, j, false)
+		return
+	}
+	rec, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	s.replayStream(w, rec)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	if rec.Report == nil {
+		writeError(w, http.StatusConflict, "run %s has no report (status %s)", rec.ID, rec.Status)
+		return
+	}
+	f, err := report.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", f.ContentType())
+	report.Write(w, f, rec.Report)
+}
+
+// sseHeaders switches the response into a server-sent event stream and
+// returns the flusher (nil if the transport cannot stream).
+func sseHeaders(w http.ResponseWriter) http.Flusher {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "response writer cannot stream")
+		return nil
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	return fl
+}
+
+// replayStream renders a finished run as the same frame sequence a live
+// stream produces: run, one iter per trace row, done.
+func (s *Server) replayStream(w http.ResponseWriter, rec Record) {
+	fl := sseHeaders(w)
+	if fl == nil {
+		return
+	}
+	report.SSE(w, "run", rec)
+	if rec.Report != nil {
+		for _, st := range rec.Report.Trace {
+			report.SSE(w, "iter", st)
+		}
+	}
+	report.SSE(w, "done", rec)
+	fl.Flush()
+}
+
+// streamJob streams a live run: a "run" frame with the registry record
+// (the client learns the id), "iter" frames as the solver produces them
+// (recorded iterations are replayed first), and a terminal "done" frame
+// with the final record. When ownCancel is set, the client hanging up
+// cancels the run — the submit-and-stream contract.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, ownCancel bool) {
+	fl := sseHeaders(w)
+	if fl == nil {
+		return
+	}
+	rec, _ := s.reg.Get(j.id)
+	report.SSE(w, "run", rec)
+	fl.Flush()
+
+	snap, ch, unsub := j.subscribe()
+	defer unsub()
+	for _, st := range snap {
+		report.SSE(w, "iter", st)
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case st := <-ch:
+			report.SSE(w, "iter", st)
+			fl.Flush()
+		case <-ctx.Done():
+			if ownCancel {
+				j.cancel()
+				// The worker still owns the finalization; wait so the
+				// registry reaches its terminal state before we return
+				// (the connection is gone — nothing more is written).
+				<-j.done
+			}
+			return
+		case <-j.done:
+			// Drain iterations that raced the close.
+			for {
+				select {
+				case st := <-ch:
+					report.SSE(w, "iter", st)
+					continue
+				default:
+				}
+				break
+			}
+			final, _ := s.reg.Get(j.id)
+			report.SSE(w, "done", final)
+			fl.Flush()
+			return
+		}
+	}
+}

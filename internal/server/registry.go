@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/qt"
+	"repro/internal/report"
+)
+
+// Status is a run's lifecycle state in the registry.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+	// StatusCached marks a request answered from the content-addressed
+	// result cache: no solver slot was consumed, SourceRun names the run
+	// that produced the artifact.
+	StatusCached Status = "cached"
+	// StatusLost marks a run found queued/running when the registry was
+	// reopened: the daemon died underneath it.
+	StatusLost Status = "lost"
+)
+
+// Record is one registry row: the resolved spec + options, the run's
+// lifecycle, a telemetry summary, and the artifact lineage (which cached
+// entry answered or seeded it). Records are the JSON bodies of
+// GET /v1/runs responses and the per-run files under the data dir.
+type Record struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority,omitempty"`
+
+	// Key is the canonical content hash of Config (the cache address);
+	// WarmKey the bias-independent family hash warm starts match on.
+	Key     string       `json:"key"`
+	WarmKey string       `json:"warm_key"`
+	Config  qt.RunConfig `json:"config"`
+
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	// Telemetry summary of the finished (or partial) run.
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	Current    float64 `json:"current"`
+	WallNs     int64   `json:"wall_ns"`
+
+	// Lineage: CacheHit means the response was served straight from the
+	// cache; WarmStart means the run was seeded with a cached Σ≷ state.
+	// SourceRun names the producing run in both cases.
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	WarmStart bool   `json:"warm_start,omitempty"`
+	SourceRun string `json:"source_run,omitempty"`
+
+	// Report is the full rendered run report (trace included) once the
+	// run finished — what /v1/runs/{id}/report re-encodes.
+	Report *report.Run `json:"report,omitempty"`
+}
+
+// Registry is the persistent run registry: an in-memory index over
+// JSON-on-disk records (one file per run under dir; dir = "" keeps it
+// memory-only, the in-process test mode).
+type Registry struct {
+	mu    sync.Mutex
+	dir   string
+	recs  map[string]*Record
+	order []string // insertion order; IDs are monotonic
+	seq   int
+}
+
+// OpenRegistry loads (creating if needed) the registry at dir. Runs
+// still marked queued/running are relabelled lost: the process that
+// owned them is gone.
+func OpenRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir, recs: map[string]*Record{}}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: registry dir: %w", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("server: registry read %s: %w", f, err)
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("server: registry decode %s: %w", f, err)
+		}
+		if rec.Status == StatusQueued || rec.Status == StatusRunning {
+			rec.Status = StatusLost
+			if err := r.write(&rec); err != nil {
+				return nil, err
+			}
+		}
+		r.recs[rec.ID] = &rec
+		r.order = append(r.order, rec.ID)
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "run-")); err == nil && n > r.seq {
+			r.seq = n
+		}
+	}
+	return r, nil
+}
+
+// NewID mints the next run ID (monotonic across daemon restarts).
+func (r *Registry) NewID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return fmt.Sprintf("run-%06d", r.seq)
+}
+
+// Put stores (a copy of) the record and persists it.
+func (r *Registry) Put(rec Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.recs[rec.ID]; !ok {
+		r.order = append(r.order, rec.ID)
+	}
+	r.recs[rec.ID] = &rec
+	return r.write(&rec)
+}
+
+// write persists one record (atomically: temp file + rename). Callers
+// hold r.mu or have exclusive access.
+func (r *Registry) write(rec *Record) error {
+	if r.dir == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.dir, rec.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Get returns a copy of the record.
+func (r *Registry) Get(id string) (Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.recs[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Query filters the registry; zero fields match everything.
+type Query struct {
+	Tenant  string
+	Status  Status
+	Key     string
+	WarmKey string
+	Limit   int // 0 = unlimited
+}
+
+// List returns matching records, newest first.
+func (r *Registry) List(q Query) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Record
+	for i := len(r.order) - 1; i >= 0; i-- {
+		rec := r.recs[r.order[i]]
+		if q.Tenant != "" && rec.Tenant != q.Tenant {
+			continue
+		}
+		if q.Status != "" && rec.Status != q.Status {
+			continue
+		}
+		if q.Key != "" && rec.Key != q.Key {
+			continue
+		}
+		if q.WarmKey != "" && rec.WarmKey != q.WarmKey {
+			continue
+		}
+		out = append(out, *rec)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
