@@ -11,13 +11,24 @@
 //	                          200 cached, 429 + Retry-After when shedding.
 //	                          ?stream=sse streams run/iter/done frames and
 //	                          cancels the run if the client hangs up.
-//	GET    /runs              query the registry (?tenant= &status= &key= &limit=)
+//	GET    /runs              query the registry (?tenant= &status= &key= &limit=;
+//	                          newest 100 by default, limit capped at 1000)
 //	GET    /runs/{id}         one registry record
 //	DELETE /runs/{id}         cancel a queued or running run
 //	GET    /runs/{id}/stream  attach to (or replay) the telemetry stream
 //	GET    /runs/{id}/report  the rendered report (?format=text|json|csv)
+//	GET    /runs/{id}/trace   Chrome trace-event JSON of a config.trace=true
+//	                          run (load in Perfetto / chrome://tracing)
 //	GET    /stats             queue, slot, and cache counters
 //	GET    /healthz           liveness
+//
+// Observability (outside /v1):
+//
+//	GET /metrics              Prometheus text exposition: per-tenant queue
+//	                          depth/wait/sheds, slot utilization, cache and
+//	                          warm-start counters, run duration/iteration
+//	                          histograms, exchange byte totals
+//	GET /debug/pprof/         runtime profiles (only with -pprof)
 //
 // Example:
 //
@@ -30,7 +41,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,18 +59,42 @@ func main() {
 	queueCap := flag.Int("queue", 64, "admission queue capacity")
 	cacheCap := flag.Int("cache", 128, "result cache capacity (entries)")
 	noWarm := flag.Bool("no-warm-start", false, "disable warm-starting from cached Σ≷ states")
+	logLevel := flag.String("log", "info", "structured log level: debug, info, warn, error")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "qtd: -log:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc, err := server.New(server.Config{
 		Slots: *slots, QueueCap: *queueCap, CacheCap: *cacheCap,
 		DataDir: *data, NoWarmStart: *noWarm,
+		Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qtd:", err)
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	// The service handles everything it routes (/v1, /metrics); the outer
+	// mux only exists to optionally graft the pprof endpoints beside it.
+	handler := http.Handler(svc)
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", svc)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("qtd: listening on %s (registry: %s)", *addr, registryLabel(*data))

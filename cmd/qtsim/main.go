@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qt"
 	"repro/internal/report"
 )
@@ -44,6 +45,8 @@ func main() {
 	ranks := flag.Int("ranks", 0, "simulated MPI world size (0 = sequential solver)")
 	schedule := flag.String("schedule", "phases", "distributed schedule: phases | overlap")
 	format := flag.String("format", "text", "output format: text, json, or csv")
+	traceFile := flag.String("trace", "", "record per-phase spans and write Chrome trace-event JSON to FILE (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print a Prometheus-text snapshot of the run's counters to stderr")
 	flag.Parse()
 
 	f, err := report.ParseFormat(*format)
@@ -82,6 +85,9 @@ func main() {
 		}
 		opts = append(opts, qt.WithRanks(*ranks), qt.WithSchedule(sched))
 	}
+	if *traceFile != "" {
+		opts = append(opts, qt.WithTrace())
+	}
 
 	sim, err := qt.New(spec, opts...)
 	if err != nil {
@@ -101,7 +107,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := report.NewRun(sim, res, *kernel, time.Since(start).Nanoseconds())
+	wall := time.Since(start)
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, res); err != nil {
+			fmt.Fprintln(os.Stderr, "qtsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qtsim: wrote %d spans to %s\n", len(res.Spans.Spans), *traceFile)
+	}
+	if *metrics {
+		printMetrics(res, wall)
+	}
+
+	rep := report.NewRun(sim, res, *kernel, wall.Nanoseconds())
 	if *ranks > 0 {
 		rep.Schedule = *schedule
 	}
@@ -112,6 +131,48 @@ func main() {
 	if f == report.Text {
 		printPanels(sim, res)
 	}
+}
+
+// writeTrace exports the run's span recording as Chrome trace-event JSON.
+func writeTrace(path string, res *qt.Result) error {
+	if res.Spans == nil {
+		return fmt.Errorf("run recorded no spans")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Spans.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printMetrics renders the run's counters in Prometheus text form on
+// stderr — the same exposition qtd serves on /metrics, for one-shot runs.
+func printMetrics(res *qt.Result, wall time.Duration) {
+	r := obs.NewRegistry()
+	r.GaugeFunc("qtsim_run_duration_seconds", "Run wall time.",
+		func() float64 { return wall.Seconds() })
+	r.GaugeFunc("qtsim_iterations", "Self-consistent iterations executed.",
+		func() float64 { return float64(res.Iterations) })
+	r.GaugeFunc("qtsim_converged", "1 when the run reached tolerance.",
+		func() float64 {
+			if res.Converged {
+				return 1
+			}
+			return 0
+		})
+	sse := r.Counter("qtsim_sse_bytes_total", "Distributed SSE exchange traffic (wire bytes).")
+	red := r.Counter("qtsim_reduce_bytes_total", "Observable-reduction traffic (bytes).")
+	fbk := r.Counter("qtsim_fallback_blocks_total", "Mixed-precision segments shipped as verbatim fp64.")
+	for _, st := range res.Trace {
+		sse.Add(float64(st.SSEBytes))
+		red.Add(float64(st.ReduceBytes))
+		fbk.Add(float64(st.FallbackBlocks))
+	}
+	r.WritePrometheus(os.Stderr)
 }
 
 // printPanels renders the text-only ASCII panels: the local density of

@@ -10,7 +10,10 @@
 //     answered instantly from the cache (no solver slot consumed);
 //  3. warm starts: a near-identical spec (same device, different bias)
 //     is seeded with the cached converged Σ≷ state and converges in
-//     fewer iterations than a cold solve.
+//     fewer iterations than a cold solve;
+//  4. observability: a config.trace=true run leaves a Chrome trace-event
+//     artifact behind (GET /v1/runs/{id}/trace, Perfetto-loadable) and
+//     every run feeds the Prometheus series on GET /metrics.
 package main
 
 import (
@@ -80,6 +83,59 @@ func main() {
 	fmt.Println("\n-- registry (tenant acme) --")
 	for _, r := range list.Runs {
 		fmt.Printf("%s  %-9s converged=%-5v iters=%d\n", r.ID, r.Status, r.Converged, r.Iterations)
+	}
+
+	// 4. A traced run (config.trace=true hashes to its own cache entry)
+	// records every BC/RGF/SSE/exchange phase; the artifact is plain
+	// Chrome trace-event JSON.
+	fmt.Println("\n-- traced run --")
+	tcfg := cfg
+	tcfg.Trace = true
+	tcfg.Ranks = 2
+	traced := streamRun(base, "acme", tcfg)
+	var chrome struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	getJSON(base+"/v1/runs/"+traced.ID+"/trace", &chrome)
+	cats := map[string]int{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Cat != "" {
+			cats[ev.Cat]++
+		}
+	}
+	fmt.Printf("run %s: %d trace events, spans per category %v\n", traced.ID, len(chrome.TraceEvents), cats)
+
+	// Everything above also moved the Prometheus needles.
+	fmt.Println("\n-- /metrics (excerpt) --")
+	resp2, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc := bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "qtd_cache_") || strings.HasPrefix(line, "qtd_warm_starts_total") ||
+			strings.HasPrefix(line, "qtd_runs_total") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// getJSON fetches and decodes one JSON endpoint.
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -75,7 +75,8 @@ type DaCePlan struct {
 	// this tile's output, per tensor class ([0] Σ≷ pair, [1] Π≷ pair).
 	probeDev, probeRef [2]float64
 
-	offRankBytes atomic.Int64 // post nodes may pack concurrently
+	offRankBytes   atomic.Int64 // post nodes may pack concurrently
+	fallbackBlocks atomic.Int64 // fp64-passthrough segments under Mixed
 }
 
 // NewDaCePlan builds the plan for one rank of the world. local holds
@@ -125,13 +126,22 @@ func (pl *DaCePlan) ProbeDeviation() (dev, ref [2]float64) {
 // encoded wire volume, i.e. what actually crosses the network.
 func (pl *DaCePlan) OffRankBytes() int64 { return pl.offRankBytes.Load() }
 
+// FallbackBlocks reports how many segments the mixed-precision encoder
+// shipped as verbatim fp64 passthrough so far (always 0 under FP64) —
+// the precision-degradation telemetry counterpart of OffRankBytes.
+func (pl *DaCePlan) FallbackBlocks() int64 { return pl.fallbackBlocks.Load() }
+
 // encode wraps a packed buffer in the half-width wire format when the
 // plan runs mixed precision; seg is the pack loop's append unit.
 func (pl *DaCePlan) encode(buf []complex128, seg int) []complex128 {
 	if pl.prec != Mixed || len(buf) == 0 {
 		return buf
 	}
-	return half.WireEncode(buf, seg)
+	out := half.WireEncode(buf, seg)
+	if n := half.WireFallbacks(out, seg); n > 0 {
+		pl.fallbackBlocks.Add(int64(n))
+	}
+	return out
 }
 
 // decode undoes encode on an arrived buffer.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/device"
 	"repro/internal/negf"
+	"repro/internal/obs"
 	"repro/internal/sse"
 )
 
@@ -128,6 +129,12 @@ type Options struct {
 	// IterStats.ReduceBytes) and Run returns the hook's error alongside
 	// the partial result. Both schedules honour it.
 	Progress func(IterStats) error
+	// Tracer, when non-nil, records per-phase spans for every rank —
+	// per-point BC/RGF solves (with the rank and a per-worker track),
+	// the SSE exchanges and tile kernel, the observable reduction, and
+	// the iteration envelope. All ranks of the simulated world share one
+	// tracer; nil (the default) keeps the hot path allocation-free.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the distributed counterpart of
@@ -210,6 +217,10 @@ type IterStats struct {
 	// the mixed tile kernel against the fp64 kernel on identical inputs
 	// this iteration — nonzero only with Options.ErrorProbe.
 	SigmaErr float64
+	// FallbackBlocks counts the exchange segments the mixed-precision
+	// wire encoder shipped as verbatim fp64 passthrough this iteration,
+	// summed over ranks — always 0 under PrecisionFP64.
+	FallbackBlocks int64
 	// WallNs is rank 0's measured wall time of this iteration — the
 	// per-iteration makespan the overlap benchmark compares across
 	// schedules.

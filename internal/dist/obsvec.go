@@ -26,10 +26,11 @@ type partialObs struct {
 	// Allreduce instead and leaves it zero.
 	flag float64
 	// sseB/redB carry each rank's measured off-rank SSE exchange and
-	// reduction bytes, so the overlapped schedule gets per-iteration
-	// traffic totals without the barriers the phase path's counter
-	// snapshots need. Zero on the phase path.
-	sseB, redB float64
+	// reduction bytes, so both schedules get per-iteration traffic totals
+	// without the barriers counter snapshots would need; fbk carries the
+	// rank's fp64-fallback segment count of the mixed-precision wire
+	// encoder (zero under FP64).
+	sseB, redB, fbk float64
 }
 
 func newPartialObs(p device.Params) *partialObs {
@@ -44,19 +45,19 @@ func newPartialObs(p device.Params) *partialObs {
 
 // vecLen is the packed length: 6 scalars, three (Bnum−1) profiles, the
 // Bnum dissipation profile, the NE spectral current, 4 kernel counters,
-// and the 3 control fields (failure flag + byte counters).
+// and the 4 control fields (failure flag, byte counters, fallback count).
 func vecLen(p device.Params) int {
-	return 6 + 3*(p.Bnum-1) + p.Bnum + p.NE + 4 + 3
+	return 6 + 3*(p.Bnum-1) + p.Bnum + p.NE + 4 + 4
 }
 
 // pack serializes the partial into the real parts of a complex vector,
 // the currency of the comm runtime. The capacity hint counts every field
-// vecLen counts — including the 3 control words (failure flag + 2 byte
-// counters) — so the per-iteration Allreduce payload is built with a
-// single allocation instead of reallocating mid-append.
+// vecLen counts — including the 4 control words (failure flag, 2 byte
+// counters, fallback count) — so the per-iteration Allreduce payload is
+// built with a single allocation instead of reallocating mid-append.
 func (po *partialObs) pack() []complex128 {
 	out := make([]complex128, 0,
-		6+len(po.ifaceCur)+len(po.ifaceEn)+len(po.phIfaceEn)+len(po.diss)+len(po.spectral)+4+3)
+		6+len(po.ifaceCur)+len(po.ifaceEn)+len(po.phIfaceEn)+len(po.diss)+len(po.spectral)+4+4)
 	put := func(vs ...float64) {
 		for _, v := range vs {
 			out = append(out, complex(v, 0))
@@ -70,7 +71,7 @@ func (po *partialObs) pack() []complex128 {
 	put(po.spectral...)
 	put(float64(po.sse.MatMuls), float64(po.sse.Flops),
 		float64(po.sse.ScalarOps), float64(po.sse.BytesMoved))
-	put(po.flag, po.sseB, po.redB)
+	put(po.flag, po.sseB, po.redB, po.fbk)
 	return out
 }
 
@@ -100,7 +101,7 @@ func unpackObs(v []complex128, p device.Params) *partialObs {
 		MatMuls: int64(get()), Flops: int64(get()),
 		ScalarOps: int64(get()), BytesMoved: int64(get()),
 	}
-	po.flag, po.sseB, po.redB = get(), get(), get()
+	po.flag, po.sseB, po.redB, po.fbk = get(), get(), get(), get()
 	return po
 }
 

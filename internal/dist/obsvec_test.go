@@ -10,8 +10,8 @@ import (
 // TestPackLenMatchesVecLen pins the pack/vecLen contract for a spread of
 // device shapes: the packed observable vector must come out at exactly
 // vecLen entries, and — the regression of the capacity-hint bug — must be
-// built in one allocation, i.e. the hint must already cover the 3 control
-// words (failure flag + 2 byte counters) that vecLen counts.
+// built in one allocation, i.e. the hint must already cover the 4 control
+// words (failure flag, 2 byte counters, fallback count) that vecLen counts.
 func TestPackLenMatchesVecLen(t *testing.T) {
 	params := []device.Params{
 		{Bnum: 2, NE: 1},
@@ -22,7 +22,7 @@ func TestPackLenMatchesVecLen(t *testing.T) {
 	}
 	for _, p := range params {
 		po := newPartialObs(p)
-		po.flag, po.sseB, po.redB = 1, 2, 3
+		po.flag, po.sseB, po.redB, po.fbk = 1, 2, 3, 4
 		po.sse = sse.Stats{MatMuls: 4, Flops: 5, ScalarOps: 6, BytesMoved: 7}
 		v := po.pack()
 		if len(v) != vecLen(p) {
@@ -56,7 +56,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 		po.spectral[i] = float64(i) * 0.5
 	}
 	po.sse = sse.Stats{MatMuls: 11, Flops: 22, ScalarOps: 33, BytesMoved: 44}
-	po.flag, po.sseB, po.redB = 1, 1024, 2048
+	po.flag, po.sseB, po.redB, po.fbk = 1, 1024, 2048, 17
 
 	got := unpackObs(po.pack(), p)
 	if *gotCmp(got) != *gotCmp(po) {
@@ -83,12 +83,12 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 func gotCmp(po *partialObs) *struct {
 	a, b, c, d, e, f float64
 	s                sse.Stats
-	g, h, i          float64
+	g, h, i, j       float64
 } {
 	return &struct {
 		a, b, c, d, e, f float64
 		s                sse.Stats
-		g, h, i          float64
+		g, h, i, j       float64
 	}{po.currentL, po.currentR, po.energyL, po.phononEnergyL, po.elLoss, po.phGain,
-		po.sse, po.flag, po.sseB, po.redB}
+		po.sse, po.flag, po.sseB, po.redB, po.fbk}
 }

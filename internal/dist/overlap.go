@@ -11,6 +11,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/device"
 	"repro/internal/negf"
+	"repro/internal/obs"
 	"repro/internal/sdfg"
 )
 
@@ -28,6 +29,32 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 	elRes := make([]*negf.ElectronPointResult, len(rs.pairs))
 	phRes := make([]*negf.PhononPointResult, len(rs.points))
 
+	// Mirror executor task spans into the run trace: each worker gets its
+	// own 100+ track, and the node label's leading path element picks the
+	// category the phase view groups by. traceBase rebases the executor's
+	// per-Run clock onto the shared tracer's; it is written between graph
+	// runs and read only by worker goroutines Run spawns afterwards, so
+	// the accesses are ordered.
+	trc := opts.Tracer
+	var traceBase int64
+	if trc != nil {
+		ex.Observer = func(label string, kind sdfg.Kind, worker int, start, end time.Duration) {
+			cat := "task"
+			switch {
+			case label == "sse/tile":
+				cat = "sse"
+			case label == "post/obs" || label == "wait/obs":
+				cat = "reduce"
+			case kind == sdfg.Comm:
+				cat = "exchange"
+			}
+			trc.Add(obs.Span{
+				Name: label, Cat: cat, Rank: r, Track: 100 + worker, I: -1, J: -1,
+				Start: traceBase + start.Nanoseconds(), Dur: (end - start).Nanoseconds(),
+			})
+		}
+	}
+
 	var global *partialObs
 	var stopErr error
 	prev := math.NaN()
@@ -43,6 +70,8 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 		// per-iteration cost: keep it inside the timed window so the
 		// phases-vs-overlap makespan comparison stays fair.
 		iterStart := time.Now()
+		tIter := trc.Begin()
+		traceBase = tIter
 		st := &iterRun{}
 		g := rs.buildIterationGraph(opts, st, elRes, phRes)
 		tr, err := ex.Run(g)
@@ -50,6 +79,7 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 			return fmt.Errorf("dist: iteration %d: %w", it, err)
 		}
 		wall := time.Since(iterStart)
+		trc.End(r, 0, "iter", "iter", it, -1, tIter)
 
 		// Failure agreement rode along in the observable reduction: every
 		// rank participated in every collective regardless, so nobody is
@@ -72,10 +102,11 @@ func runRankOverlap(c *comm.Comm, dev *device.Device, opts Options, res *Result)
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
 				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
-				SigmaErr:  st.qerr,
-				WallNs:    wall.Nanoseconds(),
-				ComputeNs: tr.Busy(g, sdfg.Compute).Nanoseconds(),
-				CommNs:    tr.Busy(g, sdfg.Comm).Nanoseconds(),
+				SigmaErr:       st.qerr,
+				FallbackBlocks: int64(global.fbk),
+				WallNs:         wall.Nanoseconds(),
+				ComputeNs:      tr.Busy(g, sdfg.Compute).Nanoseconds(),
+				CommNs:         tr.Busy(g, sdfg.Comm).Nanoseconds(),
 			}
 			res.IterTrace = append(res.IterTrace, iterSt)
 			if opts.Progress != nil && stopErr == nil {
@@ -355,6 +386,7 @@ func (rs *rankState) buildIterationGraph(opts Options, st *iterRun, elRes []*neg
 			}
 			st.part.sseB = float64(st.plan.OffRankBytes())
 			st.part.redB = reduceShare(c, vecLen(p)) + agreeShare(c, opts)
+			st.part.fbk = float64(st.plan.FallbackBlocks())
 			st.reqObs = c.IAllreduce(decomp.SlotObs, st.part.pack())
 			return nil
 		},

@@ -46,6 +46,8 @@ func newRankState(c *comm.Comm, dev *device.Device, opts Options) *rankState {
 	rs.atomSets = rs.tiles.AtomSets()
 	rs.pairs = rs.src.OwnedPairs(r)
 	rs.points = rs.src.OwnedPhonon(r)
+	rs.ps.Trace = opts.Tracer
+	rs.ps.TraceRank = r
 
 	// H(kz) and Φ(qz) are self-energy-independent: assemble each owned
 	// momentum once for the whole run.
@@ -139,6 +141,7 @@ func (rs *rankState) epilogue(opts Options, res *Result, converged bool, global 
 func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error {
 	rs := newRankState(c, dev, opts)
 	r := c.Rank()
+	trc := opts.Tracer
 	var global *partialObs
 	var stopErr error
 	prev := math.NaN()
@@ -148,6 +151,7 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 			break
 		}
 		iterStart := time.Now()
+		tIter := trc.Begin()
 		// ── GF phase: RGF solves for the owned shard only. No traffic.
 		part, err := solveShard(rs.ps, rs.hams, rs.dyns, rs.pairs, rs.points, rs.dos, rs.occ)
 		// A rank cannot abandon the collectives unilaterally — the others
@@ -175,17 +179,24 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 		if opts.ErrorProbe {
 			pl.WithErrorProbe()
 		}
+		tEx := trc.Begin()
 		pl.UnpackG(c.Alltoallv(pl.PackG()))
 		pl.UnpackD(c.Alltoallv(pl.PackD()))
+		trc.End(r, 0, "exchange", "exchange/GD", it, -1, tEx)
+		tTile := trc.Begin()
 		pl.ComputeTile()
+		trc.End(r, 0, "sse", "sse/tile", it, -1, tTile)
+		tEx = trc.Begin()
 		pl.UnpackSigma(c.Alltoallv(pl.PackSigma()))
 		pl.UnpackPi(c.Alltoallv(pl.PackPi()))
+		trc.End(r, 0, "exchange", "exchange/SigmaPi", it, -1, tEx)
 		out := pl.Output()
 		part.sse = out.Stats
 		rs.mixSigma(out, opts.Mixing)
 		rs.mixPi(out, opts.Mixing)
 		part.sseB = float64(pl.OffRankBytes())
 		part.redB = reduceShare(c, vecLen(dev.P)) + agreeShare(c, opts)
+		part.fbk = float64(pl.FallbackBlocks())
 		// Precision telemetry: the global deviation is the worst rank's,
 		// so it rides a max-reduction, not the summed observable vector.
 		var qerr float64
@@ -195,7 +206,10 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 
 		// ── Convergence: Allreduce the packed observables so every rank
 		// sees the identical global contact current.
+		tRed := trc.Begin()
 		global = unpackObs(c.Allreduce(part.pack()), dev.P)
+		trc.End(r, 0, "reduce", "reduce/obs", it, -1, tRed)
+		trc.End(r, 0, "iter", "iter", it, -1, tIter)
 
 		cur := global.currentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)
@@ -205,8 +219,9 @@ func runRank(c *comm.Comm, dev *device.Device, opts Options, res *Result) error 
 				ElEnergyLoss: global.elLoss, PhEnergyGain: global.phGain,
 				SSE:      global.sse,
 				SSEBytes: int64(global.sseB), ReduceBytes: int64(global.redB),
-				SigmaErr: qerr,
-				WallNs:   time.Since(iterStart).Nanoseconds(),
+				SigmaErr:       qerr,
+				FallbackBlocks: int64(global.fbk),
+				WallNs:         time.Since(iterStart).Nanoseconds(),
 			}
 			res.IterTrace = append(res.IterTrace, st)
 			if opts.Progress != nil && stopErr == nil {

@@ -97,6 +97,28 @@ func WireDecode(wire []complex128, seg int) []complex128 {
 	return out
 }
 
+// WireFallbacks walks an encoded wire buffer's segment headers and counts
+// the fp64 passthrough segments — the per-message fallback-block tally the
+// mixed-precision telemetry reports. seg must match the encoder's.
+func WireFallbacks(wire []complex128, seg int) int {
+	if seg <= 0 {
+		panic("half: WireFallbacks segment length must be positive")
+	}
+	n := 0
+	pos := 0
+	for pos < len(wire) {
+		h := wire[pos]
+		pos++
+		if imag(h) != 0 {
+			n++
+			pos += seg
+			continue
+		}
+		pos += (seg + wireQuad - 1) / wireQuad
+	}
+	return n
+}
+
 // segmentScale scans one segment and derives its normalization factor.
 // ok = false demands the fp64 fallback. Unlike MaxAbsComplex (which
 // skips NaN components), the scan detects NaN directly so a NaN-only

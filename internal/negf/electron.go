@@ -112,6 +112,7 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 	}
 
 	// Open boundaries: semi-infinite periodic extensions of the edge slabs.
+	tBC := s.Trace.Begin()
 	left, err := s.BC.Get(0, ik, ie, func() (*bc.Result, error) {
 		d00 := a.Diag[0].Clone()
 		return bc.SurfaceGF(d00, a.Lower[0], 0, 0)
@@ -126,6 +127,7 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 	if err != nil {
 		return nil, fmt.Errorf("right boundary: %w", err)
 	}
+	s.Trace.End(s.TraceRank, sc.track, "bc", "bc/el", ik, ie, tBC)
 	linalg.AXPY(a.Diag[0], -1, left.SigmaR)
 	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
 
@@ -161,10 +163,12 @@ func (s *PointSolver) SolveElectronPoint(h *blocktri.Matrix, ik, ie int) (*Elect
 		}
 	}
 
+	tRGF := s.Trace.Begin()
 	sol, err := sc.solveRGF(a, sigL, sigG)
 	if err != nil {
 		return nil, err
 	}
+	s.Trace.End(s.TraceRank, sc.track, "rgf", "rgf/el", ik, ie, tRGF)
 
 	// Harvest the per-atom diagonal blocks into the G≷ tensors.
 	for a2 := 0; a2 < p.Na; a2++ {

@@ -115,6 +115,7 @@ func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*Phonon
 	// lead blocks (the semi-infinite contacts stay in equilibrium, so the
 	// boundary is independent of the scattering self-energies and can be
 	// cached across iterations, §7.1.2).
+	tBC := s.Trace.Begin()
 	left, err := s.BC.Get(2, iq, m, func() (*bc.Result, error) {
 		return bc.SurfaceGF(a.Diag[0].Clone(), a.Lower[0], 0, 0)
 	})
@@ -127,6 +128,7 @@ func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*Phonon
 	if err != nil {
 		return nil, fmt.Errorf("right phonon boundary: %w", err)
 	}
+	s.Trace.End(s.TraceRank, sc.track, "bc", "bc/ph", iq, m, tBC)
 	linalg.AXPY(a.Diag[0], -1, left.SigmaR)
 	linalg.AXPY(a.Diag[nb-1], -1, right.SigmaR)
 
@@ -144,10 +146,12 @@ func (s *PointSolver) SolvePhononPoint(phi *blocktri.Matrix, iq, m int) (*Phonon
 	linalg.AXPY(sigG[nb-1], complex(0, -(n+1)), right.Gamma)
 	s.scatterPiInjections(sigL, sigG, iq, m)
 
+	tRGF := s.Trace.Begin()
 	sol, err := sc.solveRGF(a, sigL, sigG)
 	if err != nil {
 		return nil, err
 	}
+	s.Trace.End(s.TraceRank, sc.track, "rgf", "rgf/ph", iq, m, tRGF)
 
 	// Harvest D≷ into the 6-D tensors: diagonal slot plus Nb neighbours.
 	rows := p.AtomsPerSlab()

@@ -3,11 +3,13 @@ package negf
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bc"
 	"repro/internal/blocktri"
 	"repro/internal/device"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/rgf"
 	"repro/internal/tensor"
 )
@@ -21,6 +23,13 @@ import (
 type PointSolver struct {
 	Dev *device.Device
 	BC  *bc.Cache
+
+	// Trace, when non-nil, records per-point BC and RGF spans; TraceRank
+	// labels them with the owning rank (0 for the sequential solver). The
+	// nil default keeps the point solves allocation-free.
+	Trace     *obs.Tracer
+	TraceRank int
+	trackSeq  atomic.Int64
 
 	// Green's function tensors (outputs of the GF phase).
 	GL, GG *tensor.Electron
@@ -47,6 +56,10 @@ type solveScratch struct {
 	ws   *linalg.Workspace
 	sol  *rgf.Solution
 	prob rgf.Problem
+	// track is the trace lane of the worker owning this scratch: one
+	// scratch is checked out per concurrently running point solve, so the
+	// id (assigned once, ≥ 1) separates concurrent solves in the trace.
+	track int
 
 	// Electron assembly: A = (E+iη)·S − H − Σᴿ and the Σ≷ injections.
 	elA            *blocktri.Matrix
@@ -62,7 +75,7 @@ func (ps *PointSolver) getScratch() *solveScratch {
 	if sc, _ := ps.scratch.Get().(*solveScratch); sc != nil {
 		return sc
 	}
-	return &solveScratch{ws: linalg.NewWorkspace()}
+	return &solveScratch{ws: linalg.NewWorkspace(), track: int(ps.trackSeq.Add(1))}
 }
 
 func (ps *PointSolver) putScratch(sc *solveScratch) { ps.scratch.Put(sc) }

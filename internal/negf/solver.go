@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bc"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sse"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// Returning a non-nil error stops the loop between iterations; Run
 	// returns that error (wrapped) alongside the partial observables.
 	Progress func(IterStats) error
+	// Tracer, when non-nil, records per-phase spans (iteration, GF/SSE
+	// phases, per-point BC and RGF solves) into the run's trace. Nil —
+	// the default — disables recording at the cost of one nil check per
+	// seam, keeping the hot path allocation-free.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the settings used by the examples and tests.
@@ -94,10 +100,12 @@ func New(dev *device.Device, opts Options) *Solver {
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 25
 	}
-	return &Solver{
+	s := &Solver{
 		PointSolver: NewPointSolver(dev, opts.CacheMode),
 		Opts:        opts,
 	}
+	s.PointSolver.Trace = opts.Tracer
+	return s
 }
 
 // ErrNotConverged reports that MaxIter was reached before Tol.
@@ -107,12 +115,19 @@ var ErrNotConverged = errors.New("negf: self-consistent loop did not converge")
 // observables; ErrNotConverged still leaves valid (unconverged) results.
 func (s *Solver) Run() (*Observables, error) {
 	prev := math.NaN()
+	tr := s.Opts.Tracer
 	for it := 0; it < s.Opts.MaxIter; it++ {
 		iterStart := time.Now()
+		tIter := tr.Begin()
+		tGF := tr.Begin()
 		if err := s.GFPhase(); err != nil {
 			return nil, fmt.Errorf("negf: GF phase (iteration %d): %w", it, err)
 		}
+		tr.End(s.TraceRank, 0, "gf", "gf/phase", it, -1, tGF)
+		tSSE := tr.Begin()
 		stats := s.SSEPhase()
+		tr.End(s.TraceRank, 0, "sse", "sse/phase", it, -1, tSSE)
+		tr.End(s.TraceRank, 0, "iter", "iter", it, -1, tIter)
 
 		cur := s.Obs.CurrentL
 		rel := math.Abs(cur-prev) / math.Max(math.Abs(cur), 1e-300)

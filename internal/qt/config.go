@@ -39,6 +39,11 @@ type RunConfig struct {
 	TileE           int     `json:"tile_e,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	ErrorProbe      bool    `json:"error_probe,omitempty"`
+	// Trace enables per-phase span recording (qt.WithTrace). It is part
+	// of the hashed configuration: a traced and an untraced run are
+	// different artifacts (the trace is part of the result), so they
+	// address different cache entries.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Config exports the simulation's resolved configuration: the defaulted
@@ -63,6 +68,7 @@ func (s *Simulation) Config() RunConfig {
 		TileE:           te,
 		Workers:         c.workers,
 		ErrorProbe:      c.errorProbe,
+		Trace:           c.trace,
 	}
 	if c.schedule != Phases {
 		rc.Schedule = c.schedule.String()
@@ -135,6 +141,9 @@ func (rc RunConfig) Options() ([]Option, error) {
 	}
 	if rc.ErrorProbe {
 		opts = append(opts, WithErrorProbe())
+	}
+	if rc.Trace {
+		opts = append(opts, WithTrace())
 	}
 	return opts, nil
 }

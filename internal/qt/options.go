@@ -29,6 +29,7 @@ type config struct {
 	ta, te     int // distributed SSE tile split (0 = inferred)
 	workers    int // 0 = dist default
 	errorProbe bool
+	trace      bool
 	warm       *SigmaState // sequential-only Σ≷/Π≷ seed; nil = cold start
 }
 
@@ -205,6 +206,19 @@ func WithWorkers(n int) Option {
 func WithErrorProbe() Option {
 	return func(c *config) error {
 		c.errorProbe = true
+		return nil
+	}
+}
+
+// WithTrace enables per-phase span recording for the run: iteration
+// boundaries, per-point BC and RGF solves, and — when distributed — the
+// SSE exchanges, tile kernel, and observable reductions of every rank.
+// The finished run's Result.Spans carries the recording (exportable as
+// Chrome/Perfetto trace-event JSON via its WriteChrome). Off by
+// default: untraced runs pay only a nil check per seam.
+func WithTrace() Option {
+	return func(c *config) error {
+		c.trace = true
 		return nil
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/negf"
+	"repro/internal/obs"
 	"repro/internal/sse"
 )
 
@@ -30,6 +31,11 @@ type IterStats struct {
 	SSEBytes    int64   `json:"sse_bytes"`    // four-Alltoallv exchange traffic (wire volume under Mixed)
 	ReduceBytes int64   `json:"reduce_bytes"` // observable/convergence reduction traffic
 	SigmaErr    float64 `json:"sigma_err"`    // worst-rank Σ≷/Π≷ quantization deviation (error probe)
+	// FallbackBlocks counts exchange segments shipped as verbatim fp64
+	// under Mixed precision, summed over ranks (0 under FP64 and for
+	// sequential runs; omitted from JSON then, keeping existing report
+	// encodings byte-identical).
+	FallbackBlocks int64 `json:"fallback_blocks,omitempty"`
 
 	WallNs    int64 `json:"wall_ns"`    // measured iteration wall time (rank 0 for distributed)
 	ComputeNs int64 `json:"compute_ns"` // rank-0 summed compute-task time (Overlap only)
@@ -64,7 +70,8 @@ func fromDistributed(st dist.IterStats) IterStats {
 		ElEnergyLoss: st.ElEnergyLoss, PhEnergyGain: st.PhEnergyGain,
 		SSE:      st.SSE,
 		SSEBytes: st.SSEBytes, ReduceBytes: st.ReduceBytes, SigmaErr: st.SigmaErr,
-		WallNs: st.WallNs, ComputeNs: st.ComputeNs, CommNs: st.CommNs,
+		FallbackBlocks: st.FallbackBlocks,
+		WallNs:         st.WallNs, ComputeNs: st.ComputeNs, CommNs: st.CommNs,
 	}
 }
 
@@ -97,6 +104,11 @@ type Result struct {
 	// distributed runs; never serialized (it is solver state, not a
 	// result row).
 	FinalState *SigmaState `json:"-"`
+	// Spans is the per-phase span recording of a WithTrace run (nil
+	// otherwise) — export it with Spans.WriteChrome for Perfetto. Not
+	// serialized here: the qtd registry stores the Chrome form as its
+	// own artifact.
+	Spans *obs.Trace `json:"-"`
 }
 
 // Run is the handle of one in-flight solve.
@@ -142,13 +154,20 @@ func (s *Simulation) Start(ctx context.Context) (*Run, error) {
 		stats: make(chan IterStats, s.cfg.maxIter),
 		done:  make(chan struct{}),
 	}
+	var tracer *obs.Tracer
+	if s.cfg.trace {
+		tracer = obs.NewTracer()
+	}
 	go func() {
 		defer close(r.done)
 		defer close(r.stats)
 		if s.cfg.ranks > 0 {
-			r.res, r.err = s.runDistributed(ctx, r)
+			r.res, r.err = s.runDistributed(ctx, r, tracer)
 		} else {
-			r.res, r.err = s.runSequential(ctx, r)
+			r.res, r.err = s.runSequential(ctx, r, tracer)
+		}
+		if tracer != nil && r.res != nil {
+			r.res.Spans = tracer.Trace()
 		}
 	}()
 	return r, nil
@@ -164,14 +183,16 @@ func (r *Run) emit(st IterStats) {
 }
 
 // runSequential drives the negf solver under the facade contract.
-func (s *Simulation) runSequential(ctx context.Context, r *Run) (*Result, error) {
+func (s *Simulation) runSequential(ctx context.Context, r *Run, tracer *obs.Tracer) (*Result, error) {
 	trace := []IterStats{}
-	solver := negf.New(s.Device, s.cfg.negfOptions(func(st negf.IterStats) error {
+	no := s.cfg.negfOptions(func(st negf.IterStats) error {
 		u := fromSequential(st)
 		trace = append(trace, u)
 		r.emit(u)
 		return ctx.Err()
-	}))
+	})
+	no.Tracer = tracer
+	solver := negf.New(s.Device, no)
 	if w := s.cfg.warm; w != nil {
 		// Seed the loop with the warm Σ≷/Π≷ state (copied: the shared
 		// cache artifact may seed many concurrent runs).
@@ -203,14 +224,16 @@ func (s *Simulation) runSequential(ctx context.Context, r *Run) (*Result, error)
 }
 
 // runDistributed drives the dist solver under the facade contract.
-func (s *Simulation) runDistributed(ctx context.Context, r *Run) (*Result, error) {
+func (s *Simulation) runDistributed(ctx context.Context, r *Run, tracer *obs.Tracer) (*Result, error) {
 	trace := []IterStats{}
-	res, err := dist.Run(s.Device, s.cfg.distOptions(func(st dist.IterStats) error {
+	do := s.cfg.distOptions(func(st dist.IterStats) error {
 		u := fromDistributed(st)
 		trace = append(trace, u)
 		r.emit(u)
 		return ctx.Err()
-	}))
+	})
+	do.Tracer = tracer
+	res, err := dist.Run(s.Device, do)
 	switch {
 	case err == nil, errors.Is(err, negf.ErrNotConverged):
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):

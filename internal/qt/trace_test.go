@@ -1,0 +1,118 @@
+package qt
+
+import (
+	"context"
+	"testing"
+)
+
+// collectCats runs the given simulation and indexes the recorded spans
+// by category and by rank.
+func collectCats(t *testing.T, spec Spec, opts ...Option) (cats map[string]int, ranks map[int]bool) {
+	t.Helper()
+	sim, err := New(spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans == nil {
+		t.Fatal("WithTrace run returned nil Spans")
+	}
+	cats = map[string]int{}
+	ranks = map[int]bool{}
+	for _, sp := range res.Spans.Spans {
+		cats[sp.Cat]++
+		ranks[sp.Rank] = true
+		if sp.Dur < 0 {
+			t.Errorf("span %q: negative duration %d", sp.Name, sp.Dur)
+		}
+	}
+	return cats, ranks
+}
+
+// TestTraceSequential pins that a traced sequential run records the
+// iteration envelope, the GF/SSE phases, and per-point BC/RGF spans.
+func TestTraceSequential(t *testing.T) {
+	cats, _ := collectCats(t, smallSpec(), WithTrace(), WithMaxIterations(2), WithTolerance(1e-300))
+	for _, c := range []string{"iter", "gf", "sse", "bc", "rgf"} {
+		if cats[c] == 0 {
+			t.Errorf("category %q missing from sequential trace (got %v)", c, cats)
+		}
+	}
+	if cats["iter"] != 2 {
+		t.Errorf("iter spans = %d, want 2", cats["iter"])
+	}
+}
+
+// TestTraceDistributed pins the distributed coverage contract for both
+// schedules: BC, RGF, SSE, and exchange spans for every rank.
+func TestTraceDistributed(t *testing.T) {
+	for _, sch := range []Schedule{Phases, Overlap} {
+		sch := sch
+		t.Run(sch.String(), func(t *testing.T) {
+			const P = 2
+			cats, ranks := collectCats(t, smallSpec(),
+				WithTrace(), WithRanks(P), WithSchedule(sch),
+				WithMaxIterations(2), WithTolerance(1e-300))
+			for _, c := range []string{"iter", "bc", "rgf", "sse", "exchange", "reduce"} {
+				if cats[c] == 0 {
+					t.Errorf("category %q missing from %s trace (got %v)", c, sch, cats)
+				}
+			}
+			for r := 0; r < P; r++ {
+				if !ranks[r] {
+					t.Errorf("rank %d recorded no spans", r)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDisabled pins the off-by-default contract: without WithTrace
+// the result carries no spans.
+func TestTraceDisabled(t *testing.T) {
+	sim, err := New(smallSpec(), WithMaxIterations(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans != nil {
+		t.Errorf("untraced run has %d spans, want nil", len(res.Spans.Spans))
+	}
+}
+
+// TestTraceChangesKey pins that WithTrace participates in the content
+// hash: a traced and an untraced run address different cache entries.
+func TestTraceChangesKey(t *testing.T) {
+	plain, err := New(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := New(smallSpec(), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Config().Key() == traced.Config().Key() {
+		t.Error("traced and untraced configurations share a key")
+	}
+	rt, err := NewFromConfig(traced.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Config().Key() != traced.Config().Key() {
+		t.Error("Trace flag lost in the RunConfig round trip")
+	}
+}

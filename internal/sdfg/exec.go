@@ -14,6 +14,13 @@ import (
 // Cilk/TBB discipline, and the scheduling freedom the SDFG model exposes.
 type Executor struct {
 	workers int
+
+	// Observer, when non-nil, is called after every node completes with
+	// its label, kind, the worker that ran it, and its start/end offsets
+	// from the run's clock zero — the hook internal/dist uses to mirror
+	// executor spans into a run trace. It is called from worker
+	// goroutines concurrently and must be safe for that.
+	Observer func(label string, kind Kind, worker int, start, end time.Duration)
 }
 
 // NewExecutor returns an executor with the given pool size (minimum 1).
@@ -131,6 +138,9 @@ func (e *Executor) Run(g *Graph) (*Trace, error) {
 				}
 				end := time.Since(t0)
 				tr.Spans[id] = Span{Node: id, Worker: wid, Start: start, End: end}
+				if e.Observer != nil {
+					e.Observer(node.Label, node.Kind, wid, start, end)
+				}
 				st.finish(wid, node, err)
 			}
 		}(wid)

@@ -33,6 +33,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	return mux
 }
 
@@ -98,6 +100,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, rec)
 }
 
+// List bounds: an unqualified GET /v1/runs returns the newest
+// defaultListLimit records, and an explicit ?limit= is clamped to
+// maxListLimit — the registry can outgrow any single response.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
 	q := Query{
@@ -105,14 +115,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Status:  Status(qp.Get("status")),
 		Key:     qp.Get("key"),
 		WarmKey: qp.Get("warm_key"),
+		Limit:   defaultListLimit,
 	}
 	if v := qp.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
+		if err != nil || n <= 0 {
 			writeError(w, http.StatusBadRequest, "bad limit %q", v)
 			return
 		}
-		q.Limit = n
+		q.Limit = min(n, maxListLimit)
 	}
 	recs := s.reg.List(q)
 	writeJSON(w, http.StatusOK, map[string]any{"runs": recs, "count": len(recs)})
@@ -170,6 +181,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", f.ContentType())
 	report.Write(w, f, rec.Report)
+}
+
+// handleTrace serves the Chrome trace-event artifact of a WithTrace run
+// (load it in Perfetto / chrome://tracing). 409 distinguishes "run known
+// but not traced (or not finished)" from an unknown id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b, ok := s.reg.GetTrace(id)
+	if !ok {
+		if _, known := s.reg.Get(id); known {
+			writeError(w, http.StatusConflict,
+				"run %s has no trace (submit with config.trace=true and wait for completion)", id)
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
 }
 
 // sseHeaders switches the response into a server-sent event stream and

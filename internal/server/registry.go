@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qt"
 	"repro/internal/report"
 )
@@ -82,13 +84,16 @@ type Registry struct {
 	recs  map[string]*Record
 	order []string // insertion order; IDs are monotonic
 	seq   int
+	// traces holds the Chrome-trace artifacts of WithTrace runs, encoded
+	// JSON by run ID; the disk form is <id>.trace.json next to the record.
+	traces map[string][]byte
 }
 
 // OpenRegistry loads (creating if needed) the registry at dir. Runs
 // still marked queued/running are relabelled lost: the process that
 // owned them is gone.
 func OpenRegistry(dir string) (*Registry, error) {
-	r := &Registry{dir: dir, recs: map[string]*Record{}}
+	r := &Registry{dir: dir, recs: map[string]*Record{}, traces: map[string][]byte{}}
 	if dir == "" {
 		return r, nil
 	}
@@ -101,6 +106,9 @@ func OpenRegistry(dir string) (*Registry, error) {
 	}
 	sort.Strings(files)
 	for _, f := range files {
+		if strings.HasSuffix(f, ".trace.json") {
+			continue // run-NNNNNN.trace.json artifacts match the record glob
+		}
 		b, err := os.ReadFile(f)
 		if err != nil {
 			return nil, fmt.Errorf("server: registry read %s: %w", f, err)
@@ -159,6 +167,49 @@ func (r *Registry) write(rec *Record) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// PutTrace stores the run's per-phase span recording as its Chrome
+// trace-event artifact (the body of GET /v1/runs/{id}/trace), persisted
+// as <id>.trace.json when the registry has a data dir.
+func (r *Registry) PutTrace(id string, tr *obs.Trace) error {
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return fmt.Errorf("server: encode trace %s: %w", id, err)
+	}
+	b := buf.Bytes()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces[id] = b
+	if r.dir == "" {
+		return nil
+	}
+	path := filepath.Join(r.dir, id+".trace.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// GetTrace returns the run's Chrome trace JSON: from memory for runs of
+// this process, falling back to the data dir for runs of a previous one.
+func (r *Registry) GetTrace(id string) ([]byte, bool) {
+	r.mu.Lock()
+	b, ok := r.traces[id]
+	dir := r.dir
+	r.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(dir, id+".trace.json"))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // Get returns a copy of the record.

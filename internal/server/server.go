@@ -11,6 +11,7 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -37,6 +38,10 @@ type Config struct {
 	DataDir string
 	// NoWarmStart disables Σ≷ seeding from the cache (A/B debugging).
 	NoWarmStart bool
+	// Logger receives the service's structured log records (admission,
+	// dispatch, cache hits, sheds, completions), each carrying run-id and
+	// tenant attributes. Nil discards them — the in-process test default.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +65,9 @@ type job struct {
 	cfg      qt.RunConfig // resolved configuration
 	key      string
 	warmKey  string
+	// submitted stamps admission; the queue-wait histogram observes the
+	// distance to dispatch.
+	submitted time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -117,6 +125,8 @@ type Server struct {
 	cache *cache
 	reg   *Registry
 	mux   *http.ServeMux
+	log   *slog.Logger
+	met   *metrics
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -136,11 +146,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:   cfg,
 		q:     newQueue(cfg.QueueCap),
 		cache: newCache(cfg.CacheCap),
 		reg:   reg,
+		log:   log,
+		met:   newMetrics(cfg),
 		jobs:  map[string]*job{},
 	}
 	s.ctx, s.stop = context.WithCancel(context.Background())
@@ -184,6 +200,10 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		s.met.queueDepth.With(j.tenant).Add(-1)
+		s.met.queueWait.With(j.tenant).Observe(time.Since(j.submitted).Seconds())
+		s.log.Info("dispatch", "run", j.id, "tenant", j.tenant,
+			"wait_ms", time.Since(j.submitted).Milliseconds())
 		s.execute(j)
 		s.q.Done(j.tenant)
 	}
@@ -247,6 +267,7 @@ func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *
 
 	// Content-addressed fast path: identical resolved configuration.
 	if e, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Inc()
 		rec := Record{
 			ID: s.reg.NewID(), Tenant: tenant, Priority: priority,
 			Key: key, WarmKey: warmKey, Config: resolved,
@@ -259,14 +280,16 @@ func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *
 		if err := s.reg.Put(rec); err != nil {
 			return Record{}, nil, err
 		}
+		s.log.Info("cache hit", "run", rec.ID, "tenant", tenant, "source", e.RunID)
 		return rec, nil, nil
 	}
 
 	j := &job{
 		id: s.reg.NewID(), tenant: tenant, priority: priority,
 		cfg: resolved, key: key, warmKey: warmKey,
-		subs: map[chan qt.IterStats]bool{},
-		done: make(chan struct{}),
+		submitted: time.Now(),
+		subs:      map[chan qt.IterStats]bool{},
+		done:      make(chan struct{}),
 	}
 	j.ctx, j.cancel = context.WithCancel(s.ctx)
 
@@ -276,8 +299,13 @@ func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *
 	if err := s.q.Push(j); err != nil {
 		s.removeJob(j.id)
 		j.cancel()
+		s.met.shed.With(tenant).Inc()
+		s.log.Warn("shed", "tenant", tenant, "err", err)
 		return Record{}, nil, err
 	}
+	s.met.cacheMisses.Inc()
+	s.met.queueDepth.With(tenant).Add(1)
+	s.log.Info("admitted", "run", j.id, "tenant", tenant, "priority", priority)
 	rec := Record{
 		ID: j.id, Tenant: tenant, Priority: priority,
 		Key: key, WarmKey: warmKey, Config: resolved,
@@ -320,8 +348,11 @@ func (s *Server) cancelRun(id string) (Record, bool) {
 	return s.reg.Get(id)
 }
 
-// finalizeCancelled marks a never-executed job cancelled.
+// finalizeCancelled marks a never-executed job cancelled. Callers have
+// already removed it from the queue, so the depth gauge drops here.
 func (s *Server) finalizeCancelled(j *job) {
+	s.met.queueDepth.With(j.tenant).Add(-1)
+	s.log.Info("cancelled while queued", "run", j.id, "tenant", j.tenant)
 	j.cancel()
 	if rec, ok := s.reg.Get(j.id); ok {
 		rec.Status = StatusCancelled
@@ -336,6 +367,8 @@ func (s *Server) finalizeCancelled(j *job) {
 func (s *Server) execute(j *job) {
 	defer j.markDone()
 	defer s.removeJob(j.id)
+	s.met.slotsBusy.Add(1)
+	defer s.met.slotsBusy.Add(-1)
 
 	rec, ok := s.reg.Get(j.id)
 	if !ok {
@@ -356,6 +389,8 @@ func (s *Server) execute(j *job) {
 			extra = append(extra, qt.WithWarmStart(e.Result.FinalState))
 			rec.WarmStart = true
 			rec.SourceRun = e.RunID
+			s.met.warmStarts.Inc()
+			s.log.Info("warm start", "run", j.id, "tenant", j.tenant, "source", e.RunID)
 		}
 	}
 	sim, err := qt.NewFromConfig(j.cfg, extra...)
@@ -415,6 +450,15 @@ func (s *Server) execute(j *job) {
 		rec.Error = err.Error()
 	}
 	s.reg.Put(rec)
+	if res != nil && res.Spans != nil {
+		if err := s.reg.PutTrace(j.id, res.Spans); err != nil {
+			s.log.Warn("trace store failed", "run", j.id, "err", err)
+		}
+	}
+	s.met.observeRun(j.tenant, rec.Status, wall.Seconds(), res)
+	s.log.Info("finished", "run", j.id, "tenant", j.tenant,
+		"status", string(rec.Status), "converged", rec.Converged,
+		"iterations", rec.Iterations, "wall_ms", wall.Milliseconds())
 }
 
 // kernelName is the report label of the configuration's SSE kernel.
