@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/half"
+	"repro/internal/linalg"
 )
 
 // PadSize is the tile edge the padded baseline rounds matrix dimensions up
@@ -215,6 +216,10 @@ func parallelOver(count int, f func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// Reserve this worker in the kernel budget so nested GEMMs
+			// don't fan out on top of the batch split.
+			release := linalg.ReserveWorker()
+			defer release()
 			f(lo, hi)
 		}(lo, hi)
 	}

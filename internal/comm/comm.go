@@ -15,6 +15,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/linalg"
 )
 
 // message is one in-flight transfer. Payloads are complex128 vectors, the
@@ -79,6 +81,11 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			// Each simulated rank counts against the kernel worker
+			// budget: a large GEMM inside one rank must not fan out
+			// across CPUs the other ranks are using.
+			release := linalg.ReserveWorker()
+			defer release()
 			errs[rank] = fn(&Comm{world: w, rank: rank})
 		}(r)
 	}

@@ -1,0 +1,36 @@
+package linalg
+
+import "unsafe"
+
+// Aliasing guard for the GEMM entry points. The blocked kernel stores
+// partial sums into C between k-panels while op(A)/op(B) are still being
+// re-read for packing, so an output that overlaps an input silently
+// corrupts the result (the pre-blocked kernel had the same hazard through
+// its row-stripe writes — it just went undetected). The contract is
+// therefore "no overlap, ever", enforced here with a cheap address-range
+// check rather than a defensive copy: every legitimate caller in this
+// code base already uses distinct buffers, so a hit is a bug worth a loud
+// panic, not a slow path.
+
+// overlaps reports whether the backing arrays of x and y share any
+// elements. Empty slices never overlap anything.
+func overlaps(x, y []complex128) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	xlo := uintptr(unsafe.Pointer(&x[0]))
+	xhi := xlo + uintptr(len(x))*unsafe.Sizeof(x[0])
+	ylo := uintptr(unsafe.Pointer(&y[0]))
+	yhi := ylo + uintptr(len(y))*unsafe.Sizeof(y[0])
+	return xlo < yhi && ylo < xhi
+}
+
+// checkNoAlias panics if c's storage overlaps a's or b's.
+func checkNoAlias(fn string, c, a, b *Matrix) {
+	if overlaps(c.Data, a.Data) {
+		panic("linalg: " + fn + " output aliases operand a")
+	}
+	if overlaps(c.Data, b.Data) {
+		panic("linalg: " + fn + " output aliases operand b")
+	}
+}

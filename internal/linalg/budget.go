@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Worker budget: a package-global pool of schedulable CPU tokens that makes
+// kernel-level parallelism compose with the outer worker pools instead of
+// oversubscribing them. Every layer that runs compute goroutines — the
+// sequential GF phase's point workers, the sdfg executor workers, the
+// simulated MPI ranks, the SSE atom pool, the SBSMM batch splitter —
+// reserves one token per worker for the worker's lifetime. A large GEMM
+// then fans out only over tokens that are actually free: called from a
+// saturated pool it runs serially on its caller's goroutine; called from
+// the top level with idle CPUs it takes them.
+//
+// The budget defaults to GOMAXPROCS at process start. SetWorkerBudget
+// overrides it (tests pin it; a daemon colocating several solvers can
+// partition cores between them).
+var (
+	budgetTotal atomic.Int64 // configured token count
+	budgetFree  atomic.Int64 // tokens not reserved by an outer pool
+)
+
+func init() {
+	n := int64(runtime.GOMAXPROCS(0))
+	budgetTotal.Store(n)
+	budgetFree.Store(n)
+}
+
+// WorkerBudget returns the configured worker-token count.
+func WorkerBudget() int { return int(budgetTotal.Load()) }
+
+// SetWorkerBudget sets the worker-token count and returns the previous
+// value. n <= 0 restores the GOMAXPROCS default. Outstanding reservations
+// carry over: the free count is adjusted by the same delta, so a pool that
+// reserved under the old budget still releases correctly.
+func SetWorkerBudget(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	old := budgetTotal.Swap(int64(n))
+	budgetFree.Add(int64(n) - old)
+	return int(old)
+}
+
+// ReserveWorker marks one worker goroutine as busy for scheduling purposes
+// and returns the matching release function. Outer pools call it once per
+// worker they spawn (reservation never blocks — the pool is entitled to
+// its workers; the budget only steers how much extra parallelism inner
+// kernels may add). The returned release must be called exactly once.
+func ReserveWorker() (release func()) {
+	budgetFree.Add(-1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			budgetFree.Add(1)
+		}
+	}
+}
+
+// tryAcquireWorkers takes up to max free tokens (never blocking, never
+// going below zero) and returns how many it got. The caller must hand them
+// back with releaseWorkers. One token is always left behind for the
+// calling goroutine itself: a top-level caller holds no reservation but
+// still occupies a CPU, so taking the last token would oversubscribe by
+// one (on a single-CPU box it would turn every large GEMM into two
+// goroutines fighting over one core).
+func tryAcquireWorkers(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		free := budgetFree.Load()
+		if free <= 1 {
+			return 0
+		}
+		take := int64(max)
+		if take > free-1 {
+			take = free - 1
+		}
+		if budgetFree.CompareAndSwap(free, free-take) {
+			return int(take)
+		}
+	}
+}
+
+func releaseWorkers(n int) {
+	if n > 0 {
+		budgetFree.Add(int64(n))
+	}
+}

@@ -1,7 +1,6 @@
 package linalg
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -75,50 +74,78 @@ func MatMul(a *Matrix, opA Op, b *Matrix, opB Op) *Matrix {
 func Mul(a, b *Matrix) *Matrix { return MatMul(a, NoTrans, b, NoTrans) }
 
 // GEMM computes C = alpha·op(A)·op(B) + beta·C in place.
-// It parallelizes across row stripes of C for large problems.
+//
+// c must not overlap a or b (the blocked kernel stores partial sums into C
+// while the operands are still being read; overlap would silently corrupt
+// the result, so it panics instead). Transposed operands are consumed
+// through pooled packing buffers — no per-call materialization.
+//
+// Large problems fan out across row stripes of C, but only over worker
+// tokens the budget has free (see ReserveWorker): invoked from inside a
+// saturated worker pool, GEMM runs serially on its caller's goroutine.
 func GEMM(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128, c *Matrix) {
 	m, k := opDims(a, opA)
 	k2, n := opDims(b, opB)
 	if k != k2 || c.Rows != m || c.Cols != n {
 		panicShape("GEMM", a, opA, b, opB)
 	}
+	checkNoAlias("GEMM", c, a, b)
 	countFlops(8 * int64(m) * int64(n) * int64(k))
-
-	// Normalize to a form where A is accessed row-major: pre-transform the
-	// operands only when the access pattern would otherwise stride badly.
-	// For the sizes in this code base (RGF blocks up to ~1000, SSE blocks
-	// 10–25) materializing op(B) once is cheaper than strided access.
-	bEff := b
-	if opB == Trans {
-		bEff = b.T()
-	} else if opB == ConjTrans {
-		bEff = b.H()
-	}
-	aEff := a
-	if opA == Trans {
-		aEff = a.T()
-	} else if opA == ConjTrans {
-		aEff = a.H()
-	}
-	gemmDispatch(alpha, aEff, bEff, beta, c)
-}
-
-// gemmDispatch runs C = alpha·A·B + beta·C with both operands already in
-// natural orientation, fanning out across row stripes for large problems.
-// Shared by the allocating GEMM and the workspace-pooled Workspace.GEMM.
-func gemmDispatch(alpha complex128, aEff, bEff *Matrix, beta complex128, c *Matrix) {
-	m, n, k := c.Rows, c.Cols, aEff.Cols
-	work := int64(m) * int64(n) * int64(k)
-	if work < parallelThreshold {
-		gemmStripe(alpha, aEff, bEff, beta, c, 0, m)
+	if m == 0 || n == 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+	if k == 0 {
+		scaleInPlace(c, beta)
+		return
 	}
-	var wg sync.WaitGroup
+	gemmDispatch(alpha, a, opA, b, opB, beta, c, nil)
+}
+
+// gemmDispatch routes one shape-checked GEMM to a kernel: the unpacked
+// gemmStripe reference for small NoTrans problems, the packed blocked
+// kernel otherwise, row-partitioned across budget-free workers when the
+// problem is large. ws, when non-nil, donates the packing buffers
+// (workspace-pooled hot path); otherwise they come from packPool. Shared
+// by the allocating GEMM and Workspace.GEMM.
+func gemmDispatch(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128, c *Matrix, ws *Workspace) {
+	m, n := c.Rows, c.Cols
+	var k int
+	if opA == NoTrans {
+		k = a.Cols
+	} else {
+		k = a.Rows
+	}
+	work := int64(m) * int64(n) * int64(k)
+	if work < packThreshold && opA == NoTrans && opB == NoTrans {
+		gemmStripe(alpha, a, b, beta, c, 0, m)
+		return
+	}
+
+	workers := 1
+	if work >= parallelThreshold {
+		maxUseful := (m + gemmMR - 1) / gemmMR // one worker per row micro-panel at most
+		workers = 1 + tryAcquireWorkers(maxUseful-1)
+	}
+	if workers == 1 {
+		var pb *packBuf
+		if ws != nil {
+			pb = &ws.pack
+		} else {
+			pb = packPool.Get().(*packBuf)
+		}
+		gemmBlocked(alpha, a, opA, b, opB, beta, c, pb, 0, m)
+		if ws == nil {
+			packPool.Put(pb)
+		}
+		return
+	}
+	defer releaseWorkers(workers - 1)
+	// Row-partition C on micro-panel boundaries: every element still sees
+	// its full k sweep on one worker, so parallel results are bitwise
+	// identical to serial ones.
 	chunk := (m + workers - 1) / workers
+	chunk = (chunk + gemmMR - 1) / gemmMR * gemmMR
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -131,10 +158,26 @@ func gemmDispatch(alpha complex128, aEff, bEff *Matrix, beta complex128, c *Matr
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			gemmStripe(alpha, aEff, bEff, beta, c, lo, hi)
+			pb := packPool.Get().(*packBuf)
+			gemmBlocked(alpha, a, opA, b, opB, beta, c, pb, lo, hi)
+			packPool.Put(pb)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// scaleInPlace applies C = beta·C, the k == 0 degenerate GEMM.
+func scaleInPlace(c *Matrix, beta complex128) {
+	if beta == 1 {
+		return
+	}
+	if beta == 0 {
+		c.Zero()
+		return
+	}
+	for i := range c.Data {
+		c.Data[i] *= beta
+	}
 }
 
 // gemmStripe computes rows [lo, hi) of C = alpha·A·B + beta·C with A and B

@@ -86,11 +86,9 @@ func (f *LU) factorize() error {
 			if fac == 0 {
 				continue
 			}
-			rr := d[r*n : (r+1)*n]
-			rc := d[col*n : (col+1)*n]
-			for j := col + 1; j < n; j++ {
-				rr[j] -= fac * rc[j]
-			}
+			rr := d[r*n+col+1 : (r+1)*n]
+			rc := d[col*n+col+1 : (col+1)*n]
+			vecSubMul(rr, rc, fac)
 		}
 	}
 	f.signs = signs
@@ -124,7 +122,10 @@ func (f *LU) SolveInPlace(x *Matrix) {
 			}
 		}
 	}
-	// Forward substitution with unit-lower L.
+	// Forward substitution with unit-lower L. The zero-skip guards are
+	// semantic, not just a shortcut: skipping preserves -0 payloads that
+	// x -= 0*xk would rewrite, and structured factors from block
+	// assembly carry many exact zeros.
 	for i := 1; i < n; i++ {
 		xi := xd[i*m : (i+1)*m]
 		for k := 0; k < i; k++ {
@@ -132,10 +133,7 @@ func (f *LU) SolveInPlace(x *Matrix) {
 			if l == 0 {
 				continue
 			}
-			xk := xd[k*m : (k+1)*m]
-			for j := range xi {
-				xi[j] -= l * xk[j]
-			}
+			vecSubMul(xi, xd[k*m:(k+1)*m], l)
 		}
 	}
 	// Backward substitution with U.
@@ -146,15 +144,9 @@ func (f *LU) SolveInPlace(x *Matrix) {
 			if u == 0 {
 				continue
 			}
-			xk := xd[k*m : (k+1)*m]
-			for j := range xi {
-				xi[j] -= u * xk[j]
-			}
+			vecSubMul(xi, xd[k*m:(k+1)*m], u)
 		}
-		inv := 1 / d[i*n+i]
-		for j := range xi {
-			xi[j] *= inv
-		}
+		vecScale(xi, 1/d[i*n+i])
 	}
 }
 

@@ -23,6 +23,10 @@ type Workspace struct {
 	free map[int][]*Matrix
 	all  map[int][]*Matrix
 	lus  map[int]*LU
+	// pack holds the blocked GEMM's packing panels. Keeping them on the
+	// workspace (rather than the global packPool) means the steady-state
+	// solver path touches no shared pool at all.
+	pack packBuf
 }
 
 // NewWorkspace returns an empty workspace.
@@ -87,46 +91,28 @@ func (ws *Workspace) LUFor(n int) *LU {
 	return f
 }
 
-// GEMM is linalg.GEMM with any Trans/ConjTrans operand materialized into
-// pooled scratch instead of a fresh heap allocation. The materialized
-// operand holds exactly the values .T()/.H() would, so the result is
-// bit-identical to the allocating path. Use it when a transposed operand
-// enters exactly one product; when the same conjugate feeds several
-// products (the common case in the RGF recursion), materialize it once
-// with HInto/TInto into a pooled buffer instead — that is what
-// rgf.SolveInto does.
+// GEMM is linalg.GEMM backed by this workspace's packing panels instead of
+// the global packPool, so the steady-state solver path touches no shared
+// pool. Trans/ConjTrans operands are consumed directly by the packed
+// kernel — nothing is materialized. The result is bit-identical to the
+// allocating path (same kernel, same buffers modulo location). The
+// workspace ownership rule applies: one goroutine at a time.
 func (ws *Workspace) GEMM(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128, c *Matrix) {
 	m, k := opDims(a, opA)
 	k2, n := opDims(b, opB)
 	if k != k2 || c.Rows != m || c.Cols != n {
 		panicShape("GEMM", a, opA, b, opB)
 	}
+	checkNoAlias("Workspace.GEMM", c, a, b)
 	countFlops(8 * int64(m) * int64(n) * int64(k))
-	aEff, bEff := a, b
-	var ta, tb *Matrix
-	switch opB {
-	case Trans:
-		tb = TInto(ws.Get(b.Cols, b.Rows), b)
-		bEff = tb
-	case ConjTrans:
-		tb = HInto(ws.Get(b.Cols, b.Rows), b)
-		bEff = tb
+	if m == 0 || n == 0 {
+		return
 	}
-	switch opA {
-	case Trans:
-		ta = TInto(ws.Get(a.Cols, a.Rows), a)
-		aEff = ta
-	case ConjTrans:
-		ta = HInto(ws.Get(a.Cols, a.Rows), a)
-		aEff = ta
+	if k == 0 {
+		scaleInPlace(c, beta)
+		return
 	}
-	gemmDispatch(alpha, aEff, bEff, beta, c)
-	if tb != nil {
-		ws.Put(tb)
-	}
-	if ta != nil {
-		ws.Put(ta)
-	}
+	gemmDispatch(alpha, a, opA, b, opB, beta, c, ws)
 }
 
 // MulInto stores a·b into dst (which must be preallocated with the product

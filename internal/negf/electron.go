@@ -281,6 +281,10 @@ func parallelPoints(n int, work func(idx int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Reserve this worker in the kernel budget so nested GEMMs
+			// don't fan out on top of the point-level parallelism.
+			release := linalg.ReserveWorker()
+			defer release()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/blocktri"
 	"repro/internal/linalg"
+	"repro/internal/sparse"
 )
 
 // Problem describes one (momentum, energy) RGF solve.
@@ -31,7 +32,33 @@ type Problem struct {
 	// scattering terms everywhere). Entries may be nil for zero blocks.
 	SigL []*linalg.Matrix
 	SigG []*linalg.Matrix
+	// Sparsity, when non-nil, routes the off-diagonal coupling products
+	// through CSRMM/GEMMI kernels for interfaces whose coupling blocks
+	// qualify (density ≤ Threshold, dims ≥ MinDim). nil keeps every
+	// product dense and bit-identical to Solve's reference behaviour.
+	Sparsity *Sparsity
 }
+
+// Sparsity is the block-sparse routing policy. The sparse kernels skip
+// stored zeros, so results on sparse-routed interfaces are tolerance-
+// equivalent (like MixedCurrentTol), not bit-identical, to the dense
+// path; TestSparseRGFMatchesDense pins the agreement.
+type Sparsity struct {
+	// Threshold is the coupling-block density at or below which the
+	// interface is routed sparse. The break-even mirrors the paper's
+	// Table 7: CSRMM beats GEMM roughly below one nonzero in four.
+	Threshold float64
+	// MinDim skips sparse routing for blocks smaller than this — at tiny
+	// sizes the dense micro-kernel wins regardless of density.
+	MinDim int
+	// Tol is the magnitude below which entries are dropped at
+	// extraction (0 keeps everything that is not exactly zero).
+	Tol float64
+}
+
+// DefaultSparsity is the policy negf applies when the device's coupling
+// blocks qualify.
+func DefaultSparsity() *Sparsity { return &Sparsity{Threshold: 0.25, MinDim: 16} }
 
 // Solution holds the computed Green's function blocks. A Solution returned
 // by SolveInto is backed by the workspace that produced it: its blocks are
@@ -48,6 +75,75 @@ type Solution struct {
 	// scratch keeps the right-connected g-function slices alive across
 	// calls so a reused Solution costs no per-solve slice allocations.
 	gR, gL, gG []*linalg.Matrix
+	// sp holds the per-interface sparse coupling forms (empty when the
+	// problem has no Sparsity policy). Slices and value buffers are
+	// reused across solves.
+	sp     []spCoupling
+	spNext []int
+}
+
+// spCoupling caches the sparse forms of one interface's coupling blocks
+// for the duration of a solve: CSR of A_{i,i+1} (up) and A_{i+1,i} (lo)
+// for sparse·dense products, CSC of both for dense·sparse, and CSC of
+// their conjugate transposes (index structure shared with the CSRs).
+type spCoupling struct {
+	use          bool
+	csrUp, csrLo sparse.CSR
+	cscUp, cscLo sparse.CSC
+	cscUpH       sparse.CSC // CSC of upᴴ
+	cscLoH       sparse.CSC // CSC of loᴴ
+}
+
+// prepSparse re-extracts the coupling blocks of qualifying interfaces
+// into s.sp. Extraction is O(nnz) per interface per solve — negligible
+// against the O(n³) products it redirects — and reuses all storage.
+func (s *Solution) prepSparse(p *Problem) {
+	a := p.A
+	pol := p.Sparsity
+	if cap(s.sp) < a.NB {
+		s.sp = make([]spCoupling, a.NB)
+	}
+	s.sp = s.sp[:a.NB]
+	maxDim := 0
+	for _, sz := range a.Sizes {
+		if sz > maxDim {
+			maxDim = sz
+		}
+	}
+	if cap(s.spNext) < maxDim {
+		s.spNext = make([]int, maxDim)
+	}
+	s.spNext = s.spNext[:maxDim]
+	for i := 0; i+1 < a.NB; i++ {
+		sp := &s.sp[i]
+		n, m := a.Sizes[i], a.Sizes[i+1]
+		sp.use = false
+		if n < pol.MinDim || m < pol.MinDim {
+			continue
+		}
+		sparse.FromDenseInto(&sp.csrUp, a.Upper[i], pol.Tol)
+		if sp.csrUp.Density() > pol.Threshold {
+			continue
+		}
+		sparse.FromDenseInto(&sp.csrLo, a.Lower[i], pol.Tol)
+		if sp.csrLo.Density() > pol.Threshold {
+			continue
+		}
+		sp.use = true
+		sp.csrUp.ToCSCInto(&sp.cscUp, s.spNext)
+		sp.csrLo.ToCSCInto(&sp.cscLo, s.spNext)
+		sp.csrUp.ConjTransCSCInto(&sp.cscUpH)
+		sp.csrLo.ConjTransCSCInto(&sp.cscLoH)
+	}
+}
+
+// spAt returns the sparse coupling for interface i, or nil when the
+// interface runs dense.
+func (s *Solution) spAt(i int) *spCoupling {
+	if i >= len(s.sp) || !s.sp[i].use {
+		return nil
+	}
+	return &s.sp[i]
 }
 
 // resize (re)shapes the block slices for nb slabs, reusing prior storage.
@@ -92,6 +188,11 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 		sol = &Solution{}
 	}
 	sol.resize(nb)
+	if p.Sparsity != nil {
+		sol.prepSparse(p)
+	} else {
+		sol.sp = sol.sp[:0]
+	}
 
 	// Backward pass: right-connected g-functions.
 	gR, gL, gG := sol.gR, sol.gL, sol.gG
@@ -102,7 +203,15 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 		if i+1 < nb {
 			// Embed the right part: A_ii − A_{i,i+1}·gR_{i+1}·A_{i+1,i}.
 			w := ws.Get(n, n)
-			ws.Mul3Into(w, a.Upper[i], gR[i+1], a.Lower[i])
+			if sp := sol.spAt(i); sp != nil {
+				m := a.Sizes[i+1]
+				t := ws.Get(n, m)
+				sparse.CSRMMInto(t, &sp.csrUp, gR[i+1])
+				sparse.GEMMIInto(w, t, &sp.cscLo)
+				ws.Put(t)
+			} else {
+				ws.Mul3Into(w, a.Upper[i], gR[i+1], a.Lower[i])
+			}
 			linalg.Sub(eff, eff, w)
 			ws.Put(w)
 		}
@@ -135,18 +244,27 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 			// σ≷ += A_{i,i+1}·g≷_{i+1}·A_{i,i+1}ᴴ, associated (up·g≷)·upᴴ.
 			up := a.Upper[i]
 			m := a.Sizes[i+1]
-			upH := linalg.HInto(ws.Get(m, n), up)
 			t := ws.Get(n, m)
 			prod := ws.Get(n, n)
-			linalg.MulInto(t, up, gL[i+1])
-			linalg.MulInto(prod, t, upH)
-			linalg.Add(sL, sL, prod)
-			linalg.MulInto(t, up, gG[i+1])
-			linalg.MulInto(prod, t, upH)
-			linalg.Add(sG, sG, prod)
+			if sp := sol.spAt(i); sp != nil {
+				sparse.CSRMMInto(t, &sp.csrUp, gL[i+1])
+				sparse.GEMMIInto(prod, t, &sp.cscUpH)
+				linalg.Add(sL, sL, prod)
+				sparse.CSRMMInto(t, &sp.csrUp, gG[i+1])
+				sparse.GEMMIInto(prod, t, &sp.cscUpH)
+				linalg.Add(sG, sG, prod)
+			} else {
+				upH := linalg.HInto(ws.Get(m, n), up)
+				linalg.MulInto(t, up, gL[i+1])
+				linalg.MulInto(prod, t, upH)
+				linalg.Add(sL, sL, prod)
+				linalg.MulInto(t, up, gG[i+1])
+				linalg.MulInto(prod, t, upH)
+				linalg.Add(sG, sG, prod)
+				ws.Put(upH)
+			}
 			ws.Put(t)
 			ws.Put(prod)
-			ws.Put(upH)
 		}
 		// g≷ = gR·σ≷·gA, associated (gR·σ≷)·gA.
 		t := ws.Get(n, n)
@@ -172,6 +290,7 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 		up, lo := a.Upper[i], a.Lower[i]
 		gRn, gLn, gGn := gR[i+1], gL[i+1], gG[i+1]
 		GRi, GLi, GGi := s.GR[i], s.GL[i], s.GG[i]
+		sp := s.spAt(i)
 		gAn := linalg.HInto(ws.Get(m, m), gRn)
 		GAi := linalg.HInto(ws.Get(n, n), GRi)
 		loH := linalg.HInto(ws.Get(n, m), lo)
@@ -179,10 +298,24 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 
 		// Products the recursion uses repeatedly; the allocating path
 		// recomputed them identically, so sharing changes no bits.
-		gRnLo := linalg.MulInto(ws.Get(m, n), gRn, lo)   // gR_{i+1}·A_{i+1,i}
-		u1 := linalg.MulInto(ws.Get(m, n), gRnLo, GRi)   // (gR·A_lo)·GR_ii
-		loHgAn := linalg.MulInto(ws.Get(n, m), loH, gAn) // A_loᴴ·gA
-		GRiUp := linalg.MulInto(ws.Get(n, m), GRi, up)   // GR_ii·A_{i,i+1}
+		gRnLo := ws.Get(m, n) // gR_{i+1}·A_{i+1,i}
+		if sp != nil {
+			sparse.GEMMIInto(gRnLo, gRn, &sp.cscLo)
+		} else {
+			linalg.MulInto(gRnLo, gRn, lo)
+		}
+		u1 := linalg.MulInto(ws.Get(m, n), gRnLo, GRi) // (gR·A_lo)·GR_ii
+		// A_loᴴ·gA = (gR·A_lo)ᴴ: conj distributes exactly over IEEE
+		// products and sums and complex multiply is bitwise commutative,
+		// so reusing gRnLo here is bit-identical to the eliminated
+		// loH·gAn GEMM (one fewer n³ product per block pair).
+		loHgAn := linalg.HInto(ws.Get(n, m), gRnLo)
+		GRiUp := ws.Get(n, m) // GR_ii·A_{i,i+1}
+		if sp != nil {
+			sparse.GEMMIInto(GRiUp, GRi, &sp.cscUp)
+		} else {
+			linalg.MulInto(GRiUp, GRi, up)
+		}
 
 		// Retarded off-diagonals and diagonal update.
 		s.GRLower[i] = linalg.Scale(ws.Get(m, n), -1, u1)
@@ -190,7 +323,12 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 		linalg.MulInto(s.GRUpper[i], GRiUp, gRn)
 		linalg.Scale(s.GRUpper[i], -1, s.GRUpper[i])
 		// GR_{i+1,i+1} = gR + gR·A_{i+1,i}·GR_ii·A_{i,i+1}·gR.
-		upgRn := linalg.MulInto(ws.Get(n, m), up, gRn)
+		upgRn := ws.Get(n, m)
+		if sp != nil {
+			sparse.CSRMMInto(upgRn, &sp.csrUp, gRn)
+		} else {
+			linalg.MulInto(upgRn, up, gRn)
+		}
 		corr := linalg.MulInto(ws.Get(m, m), u1, upgRn)
 		s.GR[i+1] = ws.Get(m, m)
 		linalg.Add(s.GR[i+1], gRn, corr)
@@ -202,7 +340,12 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 		// G≷_{i+1,i} = −(G≷_{i,i+1})ᴴ (anti-Hermiticity of G≷).
 		offDiag := func(dst, gn, Gi *linalg.Matrix) {
 			t1 := linalg.MulInto(ws.Get(n, m), GRiUp, gn)
-			tA := linalg.MulInto(ws.Get(n, m), Gi, loH)
+			tA := ws.Get(n, m)
+			if sp != nil {
+				sparse.GEMMIInto(tA, Gi, &sp.cscLoH)
+			} else {
+				linalg.MulInto(tA, Gi, loH)
+			}
 			t2 := linalg.MulInto(ws.Get(n, m), tA, gAn)
 			linalg.Add(dst, t1, t2)
 			linalg.Scale(dst, -1, dst)
@@ -227,10 +370,20 @@ func SolveInto(p *Problem, ws *linalg.Workspace, sol *Solution) (*Solution, erro
 			tb := linalg.MulInto(ws.Get(m, n), gRnLo, Gi)
 			t := linalg.MulInto(ws.Get(m, m), tb, loHgAn)
 			linalg.AXPY(dst, 1, t)
-			tup := linalg.MulInto(ws.Get(n, m), up, gn)
+			tup := ws.Get(n, m)
+			if sp != nil {
+				sparse.CSRMMInto(tup, &sp.csrUp, gn)
+			} else {
+				linalg.MulInto(tup, up, gn)
+			}
 			linalg.MulInto(t, u1, tup)
 			linalg.AXPY(dst, 1, t)
-			tc := linalg.MulInto(ws.Get(m, n), gn, upH)
+			tc := ws.Get(m, n)
+			if sp != nil {
+				sparse.GEMMIInto(tc, gn, &sp.cscUpH)
+			} else {
+				linalg.MulInto(tc, gn, upH)
+			}
 			td := linalg.MulInto(ws.Get(m, n), tc, GAi)
 			linalg.MulInto(t, td, loHgAn)
 			linalg.AXPY(dst, 1, t)

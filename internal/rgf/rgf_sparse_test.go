@@ -1,0 +1,187 @@
+package rgf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blocktri"
+	"repro/internal/linalg"
+)
+
+// randomSparseCouplingProblem builds a well-conditioned RGF problem whose
+// off-diagonal coupling blocks carry the given nonzero density — the
+// structure of a DFT Hamiltonian, where each atom couples to a handful of
+// neighbours. Diagonal blocks stay dense.
+func randomSparseCouplingProblem(rng *rand.Rand, sizes []int, density float64) *Problem {
+	nb := len(sizes)
+	a := blocktri.New(sizes)
+	for i := range a.Diag {
+		d := a.Diag[i]
+		for r := range d.Data {
+			d.Data[r] = complex(-0.5*rng.NormFloat64(), -0.5*rng.NormFloat64())
+		}
+		linalg.Hermitize(d, d)
+		linalg.Scale(d, -1, d)
+		for r := 0; r < sizes[i]; r++ {
+			d.Set(r, r, d.At(r, r)+complex(0.7, 0.05))
+		}
+	}
+	for i := range a.Upper {
+		up := linalg.New(sizes[i], sizes[i+1])
+		for r := 0; r < up.Rows; r++ {
+			for c := 0; c < up.Cols; c++ {
+				if rng.Float64() < density {
+					up.Set(r, c, complex(0.3*rng.NormFloat64(), 0.3*rng.NormFloat64()))
+				}
+			}
+		}
+		a.Upper[i] = linalg.Scale(linalg.New(up.Rows, up.Cols), -1, up)
+		a.Lower[i] = a.Upper[i].H()
+	}
+	sigL := make([]*linalg.Matrix, nb)
+	sigG := make([]*linalg.Matrix, nb)
+	for i := 0; i < nb; i++ {
+		m := linalg.New(sizes[i], sizes[i])
+		for r := range m.Data {
+			m.Data[r] = complex(0.2*rng.NormFloat64(), 0.2*rng.NormFloat64())
+		}
+		linalg.Hermitize(m, m)
+		sigL[i] = linalg.Scale(linalg.New(sizes[i], sizes[i]), 1i, m)
+		m2 := linalg.New(sizes[i], sizes[i])
+		for r := range m2.Data {
+			m2.Data[r] = complex(0.2*rng.NormFloat64(), 0.2*rng.NormFloat64())
+		}
+		linalg.Hermitize(m2, m2)
+		sigG[i] = linalg.Scale(linalg.New(sizes[i], sizes[i]), -1i, m2)
+	}
+	return &Problem{A: a, SigL: sigL, SigG: sigG}
+}
+
+// solutionBlocks enumerates every block family of a Solution for
+// comparison loops.
+func solutionBlocks(s *Solution) map[string][]*linalg.Matrix {
+	return map[string][]*linalg.Matrix{
+		"GR": s.GR, "GL": s.GL, "GG": s.GG,
+		"GRUpper": s.GRUpper, "GRLower": s.GRLower,
+		"GLUpper": s.GLUpper, "GLLower": s.GLLower,
+		"GGUpper": s.GGUpper, "GGLower": s.GGLower,
+	}
+}
+
+func compareSolutions(t *testing.T, ctx string, got, want *Solution, tol float64) {
+	t.Helper()
+	wantBlocks := solutionBlocks(want)
+	for name, gotFam := range solutionBlocks(got) {
+		wantFam := wantBlocks[name]
+		for i := range wantFam {
+			if d := linalg.MaxDiff(gotFam[i], wantFam[i]); d > tol {
+				t.Fatalf("%s: %s[%d] differs by %g (tol %g)", ctx, name, i, d, tol)
+			}
+		}
+	}
+}
+
+// TestSparseRGFMatchesDense is the agreement test the Sparsity contract
+// references: on a problem whose couplings qualify for sparse routing, the
+// sparse path must match the dense path and the dense-inversion oracle at
+// tolerance (the sparse kernels skip stored zeros, so bit-identity is not
+// promised on routed interfaces).
+func TestSparseRGFMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, sizes := range [][]int{{20, 24, 20}, {16, 16, 16, 16}, {24, 32, 24, 16}} {
+		p := randomSparseCouplingProblem(rng, sizes, 0.1)
+		dense, err := Solve(p)
+		if err != nil {
+			t.Fatalf("sizes %v dense: %v", sizes, err)
+		}
+		pS := &Problem{A: p.A, SigL: p.SigL, SigG: p.SigG, Sparsity: DefaultSparsity()}
+		sp, err := Solve(pS)
+		if err != nil {
+			t.Fatalf("sizes %v sparse: %v", sizes, err)
+		}
+		// The routing must actually have engaged, or this test is vacuous.
+		engaged := false
+		for i := range sp.sp {
+			if sp.sp[i].use {
+				engaged = true
+			}
+		}
+		if !engaged {
+			t.Fatalf("sizes %v: no interface routed sparse", sizes)
+		}
+		compareSolutions(t, "sparse vs dense", sp, dense, 1e-8)
+
+		grD, glD, ggD, err := DenseReference(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sizes {
+			if d := linalg.MaxDiff(sp.GR[i], blockAt(grD, p.A, i, i)); d > 1e-8 {
+				t.Fatalf("sizes %v: sparse GR[%d] vs oracle differs by %g", sizes, i, d)
+			}
+			if d := linalg.MaxDiff(sp.GL[i], blockAt(glD, p.A, i, i)); d > 1e-8 {
+				t.Fatalf("sizes %v: sparse GL[%d] vs oracle differs by %g", sizes, i, d)
+			}
+			if d := linalg.MaxDiff(sp.GG[i], blockAt(ggD, p.A, i, i)); d > 1e-8 {
+				t.Fatalf("sizes %v: sparse GG[%d] vs oracle differs by %g", sizes, i, d)
+			}
+		}
+	}
+}
+
+// TestSparsityGatesFallBackBitwise checks the two disqualification gates:
+// dense couplings (density above Threshold) and small blocks (below
+// MinDim) must leave every interface on the dense path, making a
+// Sparsity-carrying solve bitwise identical to a Sparsity-nil one.
+func TestSparsityGatesFallBackBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		// Couplings at density ~0.9: far above the 0.25 threshold.
+		{"dense-couplings", randomSparseCouplingProblem(rng, []int{20, 20, 20}, 0.9)},
+		// Blocks below MinDim=16: sparse couplings but gated by size.
+		{"small-blocks", randomSparseCouplingProblem(rng, []int{6, 8, 6}, 0.1)},
+	}
+	for _, tc := range cases {
+		want, err := Solve(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		pS := &Problem{A: tc.p.A, SigL: tc.p.SigL, SigG: tc.p.SigG, Sparsity: DefaultSparsity()}
+		got, err := Solve(pS)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := range got.sp {
+			if got.sp[i].use {
+				t.Fatalf("%s: interface %d routed sparse; gate failed", tc.name, i)
+			}
+		}
+		compareSolutions(t, tc.name, got, want, 0) // bitwise: same code path
+	}
+}
+
+// TestSparseSolveIntoSteadyStateAllocs extends the zero-alloc steady-state
+// contract to the sparse path: the per-solve extraction reuses all its
+// storage once warm.
+func TestSparseSolveIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	p := randomSparseCouplingProblem(rng, []int{20, 20, 20, 20}, 0.1)
+	p.Sparsity = DefaultSparsity()
+	ws := linalg.NewWorkspace()
+	var sol *Solution
+	var err error
+	if sol, err = SolveInto(p, ws, sol); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if sol, err = SolveInto(p, ws, sol); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("warm sparse SolveInto allocates %.1f times per solve, want ≤ 2", allocs)
+	}
+}

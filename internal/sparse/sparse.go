@@ -62,6 +62,31 @@ func FromDense(m *linalg.Matrix, tol float64) *CSR {
 	return a
 }
 
+// FromDenseInto is FromDense reusing a's slices — the workspace-pooled
+// form the RGF sparse path uses to re-extract coupling blocks every solve
+// without heap traffic (extraction is O(Rows·Cols), negligible next to
+// the O(n³) products it feeds).
+func FromDenseInto(a *CSR, m *linalg.Matrix, tol float64) *CSR {
+	a.Rows, a.Cols = m.Rows, m.Cols
+	if cap(a.RowPtr) < m.Rows+1 {
+		a.RowPtr = make([]int, m.Rows+1)
+	}
+	a.RowPtr = a.RowPtr[:m.Rows+1]
+	a.ColIdx = a.ColIdx[:0]
+	a.Val = a.Val[:0]
+	a.RowPtr[0] = 0
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			if cmplx.Abs(v) > tol {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Val = append(a.Val, v)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	return a
+}
+
 // Dense expands a back to a dense matrix.
 func (a *CSR) Dense() *linalg.Matrix {
 	m := linalg.New(a.Rows, a.Cols)
@@ -97,6 +122,70 @@ func (a *CSR) ToCSC() *CSC {
 		}
 	}
 	return c
+}
+
+// ToCSCInto is ToCSC reusing c's slices. next is caller-provided scratch
+// of length ≥ a.Cols (pooled by hot callers alongside c).
+func (a *CSR) ToCSCInto(c *CSC, next []int) *CSC {
+	c.Rows, c.Cols = a.Rows, a.Cols
+	if cap(c.ColPtr) < a.Cols+1 {
+		c.ColPtr = make([]int, a.Cols+1)
+	}
+	c.ColPtr = c.ColPtr[:a.Cols+1]
+	for j := range c.ColPtr {
+		c.ColPtr[j] = 0
+	}
+	for _, j := range a.ColIdx {
+		c.ColPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		c.ColPtr[j+1] += c.ColPtr[j]
+	}
+	nnz := a.NNZ()
+	if cap(c.RowIdx) < nnz {
+		c.RowIdx = make([]int, nnz)
+	}
+	c.RowIdx = c.RowIdx[:nnz]
+	if cap(c.Val) < nnz {
+		c.Val = make([]complex128, nnz)
+	}
+	c.Val = c.Val[:nnz]
+	next = next[:a.Cols]
+	copy(next, c.ColPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			q := next[j]
+			c.RowIdx[q] = i
+			c.Val[q] = a.Val[p]
+			next[j]++
+		}
+	}
+	return c
+}
+
+// TransCSCView returns aᵀ in CSC form without copying: the CSR arrays of
+// a, reinterpreted column-wise, are exactly the CSC arrays of aᵀ. The
+// view shares storage with a.
+func (a *CSR) TransCSCView() *CSC {
+	return &CSC{Rows: a.Cols, Cols: a.Rows, ColPtr: a.RowPtr, RowIdx: a.ColIdx, Val: a.Val}
+}
+
+// ConjTransCSCInto stores aᴴ in CSC form into dst: the index structure is
+// shared with a (same reinterpretation as TransCSCView), only the values
+// are conjugated into dst's reused Val slice.
+func (a *CSR) ConjTransCSCInto(dst *CSC) *CSC {
+	dst.Rows, dst.Cols = a.Cols, a.Rows
+	dst.ColPtr, dst.RowIdx = a.RowPtr, a.ColIdx
+	nnz := a.NNZ()
+	if cap(dst.Val) < nnz {
+		dst.Val = make([]complex128, nnz)
+	}
+	dst.Val = dst.Val[:nnz]
+	for i, v := range a.Val {
+		dst.Val[i] = cmplx.Conj(v)
+	}
+	return dst
 }
 
 // Dense expands a CSC matrix to dense.
@@ -224,6 +313,54 @@ func GEMMI(b *linalg.Matrix, a *CSC) *linalg.Matrix {
 		}
 	}
 	return c
+}
+
+// CSRMMInto computes dst = A·B (the NN mode of CSRMM) into a
+// preallocated dst, overwriting it. dst must not alias b. This is the
+// kernel the sparse RGF path routes coupling products through: per
+// element the products accumulate in ascending stored-column order,
+// which skips exact zeros — results are tolerance-equivalent, not
+// bit-identical, to the dense kernel (see the rgf package docs).
+func CSRMMInto(dst *linalg.Matrix, a *CSR, b *linalg.Matrix) *linalg.Matrix {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("sparse: CSRMMInto shape mismatch")
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Val[p]
+			brow := b.Data[a.ColIdx[p]*n : (a.ColIdx[p]+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// GEMMIInto computes dst = B·A (dense·sparse-CSC) into a preallocated
+// dst, overwriting it. dst must not alias b. Same tolerance-equivalence
+// caveat as CSRMMInto.
+func GEMMIInto(dst, b *linalg.Matrix, a *CSC) *linalg.Matrix {
+	if b.Cols != a.Rows || dst.Rows != b.Rows || dst.Cols != a.Cols {
+		panic("sparse: GEMMIInto shape mismatch")
+	}
+	for i := 0; i < b.Rows; i++ {
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		crow := dst.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < a.Cols; j++ {
+			var sum complex128
+			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+				sum += brow[a.RowIdx[p]] * a.Val[p]
+			}
+			crow[j] = sum
+		}
+	}
+	return dst
 }
 
 // MulFlops returns the real-flop cost of multiplying op(A)(sparse)·B(dense):

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/device"
+	"repro/internal/linalg"
 	"repro/internal/tensor"
 )
 
@@ -147,6 +148,10 @@ func parallelAtoms(na int, work func(a int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Reserve this worker in the kernel budget so nested GEMMs
+			// don't fan out on top of the atom-level parallelism.
+			release := linalg.ReserveWorker()
+			defer release()
 			for {
 				a := int(atomic.AddInt64(&next, 1))
 				if a >= na {
