@@ -19,6 +19,18 @@
 //	GET    /runs/{id}/report  the rendered report (?format=text|json|csv)
 //	GET    /runs/{id}/trace   Chrome trace-event JSON of a config.trace=true
 //	                          run (load in Perfetto / chrome://tracing)
+//	POST   /ensembles         submit a disorder study {tenant, members,
+//	                          base_seed, config} — config.spec.profile
+//	                          required; members run as registry-linked
+//	                          runs (GET /runs?study=), duplicates answer
+//	                          from the cache, siblings warm-start.
+//	                          ?stream=sse streams study/member/done frames
+//	GET    /ensembles         query studies (?tenant= &status= &limit=)
+//	GET    /ensembles/{id}    one study record (lineage, progress, report)
+//	DELETE /ensembles/{id}    cancel a running study and its members
+//	GET    /ensembles/{id}/stream  attach to (or replay) member progress
+//	GET    /ensembles/{id}/report  the reduced mean/variance/CI report
+//	                          (?format=text|json|csv)
 //	GET    /stats             queue, slot, and cache counters
 //	GET    /healthz           liveness
 //

@@ -10,19 +10,29 @@
 // the report encoding (the machine-readable forms share the distsim
 // schema via internal/report).
 //
+// Device-zoo runs load a declarative disorder profile with -profile
+// FILE (JSON device.Profile: regions, gates, doping, vacancies, strain)
+// and pick the realization with -dseed. -ensemble N averages N
+// realizations (seeds dseed..dseed+N-1) and reports the Welford-reduced
+// mean/variance/CI ensemble schema instead of a single run.
+//
 // Example:
 //
 //	qtsim -na 24 -bnum 6 -norb 2 -ne 24 -nw 4 -vds 0.3 -coupling 0.12
 //	qtsim -ranks 4 -schedule overlap -format json
+//	qtsim -profile device.json -dseed 42 -ensemble 16 -format csv
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/device"
+	"repro/internal/ensemble"
 	"repro/internal/obs"
 	"repro/internal/qt"
 	"repro/internal/report"
@@ -42,6 +52,9 @@ func main() {
 	iters := flag.Int("maxiter", 25, "maximum self-consistent iterations")
 	tol := flag.Float64("tol", 1e-5, "relative current change at convergence")
 	seed := flag.Uint64("seed", 0x5eed, "structure seed")
+	profileFile := flag.String("profile", "", "JSON device profile (regions, gates, doping, vacancies, strain)")
+	dseed := flag.Uint64("dseed", 1, "disorder realization seed (requires -profile)")
+	members := flag.Int("ensemble", 0, "average N disorder realizations, seeds dseed..dseed+N-1 (requires -profile)")
 	ranks := flag.Int("ranks", 0, "simulated MPI world size (0 = sequential solver)")
 	schedule := flag.String("schedule", "phases", "distributed schedule: phases | overlap")
 	format := flag.String("format", "text", "output format: text, json, or csv")
@@ -59,6 +72,23 @@ func main() {
 		Atoms: *na, Slabs: *bnum, Orbitals: *norb,
 		MomentumPoints: *nkz, EnergyPoints: *ne, PhononModes: *nw,
 		Temperature: *tc, Coupling: *coupling, Seed: *seed,
+	}
+	if *profileFile != "" {
+		raw, err := os.ReadFile(*profileFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qtsim:", err)
+			os.Exit(2)
+		}
+		var pr device.Profile
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			fmt.Fprintf(os.Stderr, "qtsim: parse %s: %v\n", *profileFile, err)
+			os.Exit(2)
+		}
+		spec.Profile = &pr
+		spec.DisorderSeed = *dseed
+	} else if *members > 0 {
+		fmt.Fprintln(os.Stderr, "qtsim: -ensemble requires -profile (a clean device has nothing to average over)")
+		os.Exit(2)
 	}
 	opts := []qt.Option{
 		qt.WithBias(*vds),
@@ -87,6 +117,11 @@ func main() {
 	}
 	if *traceFile != "" {
 		opts = append(opts, qt.WithTrace())
+	}
+
+	if *members > 0 {
+		runEnsemble(spec, opts, *members, *dseed, f)
+		return
 	}
 
 	sim, err := qt.New(spec, opts...)
@@ -130,6 +165,32 @@ func main() {
 	}
 	if f == report.Text {
 		printPanels(sim, res)
+	}
+}
+
+// runEnsemble drives an N-realization study in-process and writes the
+// Welford-reduced ensemble report; member progress streams on stderr.
+func runEnsemble(spec qt.Spec, opts []qt.Option, members int, baseSeed uint64, f report.Format) {
+	st := &ensemble.Study{
+		Spec: spec, Members: members, BaseSeed: baseSeed,
+		Options: opts, WarmStart: true,
+		OnMember: func(m ensemble.Member) {
+			status := "failed"
+			if m.Err == nil && m.Result != nil {
+				status = fmt.Sprintf("I=%.8g iters=%d converged=%v",
+					m.Result.Current, m.Result.Iterations, m.Result.Converged)
+			}
+			fmt.Fprintf(os.Stderr, "qtsim: member %d (seed %d): %s\n", m.Index, m.Seed, status)
+		},
+	}
+	res, err := st.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
+		os.Exit(1)
+	}
+	if err := report.Write(os.Stdout, f, res.Report); err != nil {
+		fmt.Fprintln(os.Stderr, "qtsim:", err)
+		os.Exit(1)
 	}
 }
 

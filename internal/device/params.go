@@ -88,12 +88,20 @@ func (p Params) Validate() error {
 		return fmt.Errorf("device: Na (%d) must be divisible by Bnum (%d)", p.Na, p.Bnum)
 	case p.Bnum < 3:
 		return fmt.Errorf("device: need at least 3 slabs for contacts + channel, got %d", p.Bnum)
+	case p.NbT <= 0:
+		return fmt.Errorf("device: NbT must be positive (got %d): a device without neighbours has no transport", p.NbT)
 	case p.Nkz <= 0 || p.NE <= 0 || p.Nomega <= 0:
 		return fmt.Errorf("device: Nkz, NE, Nomega must be positive")
 	case p.Nomega >= p.NE:
 		return fmt.Errorf("device: Nomega (%d) must be < NE (%d) so E±ω shifts stay mostly on-grid", p.Nomega, p.NE)
 	case p.DE <= 0:
 		return fmt.Errorf("device: DE must be positive")
+	case !isFinite(p.DE):
+		return fmt.Errorf("device: DE must be finite (got %g)", p.DE)
+	case !isFinite(p.Emin):
+		return fmt.Errorf("device: Emin must be finite (got %g): a NaN/Inf grid origin poisons every energy point", p.Emin)
+	case !isFinite(p.Coupling):
+		return fmt.Errorf("device: Coupling must be finite (got %g): NaN would propagate silently through ∇H into Σ≷", p.Coupling)
 	case p.Eta <= 0:
 		return fmt.Errorf("device: Eta must be positive")
 	case p.TC <= 0:
@@ -101,6 +109,9 @@ func (p Params) Validate() error {
 	}
 	return nil
 }
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // TestParams returns a small, fast structure for unit and integration
 // tests: na atoms in bnum slabs with norb orbitals.

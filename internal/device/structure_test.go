@@ -16,27 +16,8 @@ func testDevice(t *testing.T) *Device {
 	return d
 }
 
-func TestValidate(t *testing.T) {
-	good := TestParams(24, 6, 2)
-	if err := good.Validate(); err != nil {
-		t.Fatalf("valid params rejected: %v", err)
-	}
-	bad := good
-	bad.Na = 25 // not divisible by Bnum
-	if bad.Validate() == nil {
-		t.Fatal("indivisible Na accepted")
-	}
-	bad = good
-	bad.Bnum = 2
-	if bad.Validate() == nil {
-		t.Fatal("too few slabs accepted")
-	}
-	bad = good
-	bad.Nomega = good.NE
-	if bad.Validate() == nil {
-		t.Fatal("Nomega >= NE accepted")
-	}
-}
+// Params.Validate coverage lives in the table-driven TestValidate in
+// params_test.go.
 
 func TestGeometryAndSlabs(t *testing.T) {
 	d := testDevice(t)

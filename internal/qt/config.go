@@ -168,12 +168,16 @@ func NewFromConfig(rc RunConfig, extra ...Option) (*Simulation, error) {
 // configs, not raw request bodies.
 func (rc RunConfig) Key() string { return rc.hash(false) }
 
-// WarmKey is Key with the bias removed from the hash: it names the
-// family of configurations identical up to Vds — the near-identical
-// neighbours whose converged Σ≷ state a warm start may be seeded from.
+// WarmKey is Key with the bias and the disorder seed removed from the
+// hash: it names the family of configurations identical up to Vds and
+// disorder realization — the near-identical neighbours whose converged
+// Σ≷ state a warm start may be seeded from. Disorder realizations of
+// one profile share tensor shapes by the lowering contract, and
+// neighbouring ensemble members converge to nearby fixed points, so a
+// sibling's Σ≷ is an excellent initial guess.
 func (rc RunConfig) WarmKey() string { return rc.hash(true) }
 
-func (rc RunConfig) hash(dropBias bool) string {
+func (rc RunConfig) hash(warm bool) string {
 	b, err := json.Marshal(rc)
 	if err != nil {
 		panic("qt: RunConfig not marshalable: " + err.Error())
@@ -182,9 +186,10 @@ func (rc RunConfig) hash(dropBias bool) string {
 	if err := json.Unmarshal(b, &m); err != nil {
 		panic("qt: RunConfig JSON not an object: " + err.Error())
 	}
-	if dropBias {
+	if warm {
 		if spec, ok := m["spec"].(map[string]any); ok {
 			delete(spec, "bias")
+			delete(spec, "disorder_seed")
 		}
 	}
 	h := sha256.New()

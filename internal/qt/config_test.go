@@ -126,8 +126,9 @@ func TestRunConfigKey(t *testing.T) {
 		}
 	}
 
-	// WarmKey ignores exactly the bias: neighbouring-bias configs share
-	// a family, any other change splits it.
+	// WarmKey ignores exactly the bias and the disorder seed:
+	// neighbouring-bias configs share a family, any other change splits
+	// it. (The disorder-seed half lives in TestProfileKeys.)
 	biasSim, err := New(smallSpec(), WithRanks(4), WithPrecision(Mixed), WithBias(0.17))
 	if err != nil {
 		t.Fatal(err)

@@ -56,6 +56,19 @@ type Spec struct {
 	Temperature    float64 `json:"temperature,omitempty"`     // contact temperature in K (default 300)
 	Coupling       float64 `json:"coupling,omitempty"`        // electron-phonon strength (default 0.08)
 	Seed           uint64  `json:"seed,omitempty"`            // structure seed (default 0x5eed)
+
+	// Profile is the optional device-zoo layer: heterojunction regions,
+	// gates, doping/vacancy disorder and strain lowered onto the built
+	// device (see device.Profile for the lowering contract). It is part
+	// of the wire format and therefore of the RunConfig content hash —
+	// each (profile, disorder_seed) realization is its own cache
+	// artifact.
+	Profile *device.Profile `json:"profile,omitempty"`
+	// DisorderSeed seeds the profile's random channels for one ensemble
+	// realization. Zero is a valid seed (it is not defaulted); setting it
+	// without a Profile is a validation error, since it would otherwise
+	// mint distinct cache keys for physically identical runs.
+	DisorderSeed uint64 `json:"disorder_seed,omitempty"`
 }
 
 // withDefaults fills zero fields.
@@ -109,9 +122,15 @@ func (s Spec) params() device.Params {
 // Build validates the (defaulted) spec and constructs the synthetic
 // device — the entry point for exchange-level tools that drive the
 // lower layers directly (cmd/commsim, the scaling example) but share
-// the facade's structure definition.
+// the facade's structure definition. When the spec carries a Profile,
+// the realization it names (profile, disorder seed) is lowered onto the
+// device before it is returned.
 func (s Spec) Build() (*device.Device, error) {
-	p := s.withDefaults().params()
+	s = s.withDefaults()
+	if err := s.validateProfile(); err != nil {
+		return nil, err
+	}
+	p := s.params()
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("qt: %w", err)
 	}
@@ -119,7 +138,31 @@ func (s Spec) Build() (*device.Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qt: %w", err)
 	}
+	if err := s.applyProfile(dev); err != nil {
+		return nil, err
+	}
 	return dev, nil
+}
+
+// validateProfile checks the profile-related spec fields that the
+// device layer cannot see.
+func (s Spec) validateProfile() error {
+	if s.Profile == nil && s.DisorderSeed != 0 {
+		return fmt.Errorf("qt: disorder_seed set without a profile: the seed only draws profile disorder, and a seed-only spec would mint distinct cache keys for identical runs")
+	}
+	return nil
+}
+
+// applyProfile lowers the spec's profile (if any) onto a freshly built
+// device.
+func (s Spec) applyProfile(dev *device.Device) error {
+	if s.Profile == nil {
+		return nil
+	}
+	if err := s.Profile.Apply(dev, s.DisorderSeed); err != nil {
+		return fmt.Errorf("qt: %w", err)
+	}
+	return nil
 }
 
 // Schedule selects how a distributed self-consistent iteration executes

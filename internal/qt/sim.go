@@ -33,9 +33,15 @@ func New(spec Spec, opts ...Option) (*Simulation, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, fmt.Errorf("qt: %w", err)
 	}
+	if err := spec.validateProfile(); err != nil {
+		return nil, err
+	}
 	dev, err := device.Build(cfg.params)
 	if err != nil {
 		return nil, fmt.Errorf("qt: %w", err)
+	}
+	if err := spec.applyProfile(dev); err != nil {
+		return nil, err
 	}
 	if cfg.warm != nil {
 		if err := cfg.warm.compatible(dev); err != nil {

@@ -96,7 +96,33 @@ func fixedScaling() *Scaling {
 	}
 }
 
-// TestGolden locks every encoder's byte-exact output across both report
+func fixedEnsemble() *Ensemble {
+	return &Ensemble{
+		Device: DeviceInfo{
+			Atoms: 12, Slabs: 3, Orbitals: 2, MaxNeighbours: 11,
+			MomentumPoints: 3, EnergyPoints: 12, PhononModes: 3,
+			Bias: 0.3, Temperature: 300,
+		},
+		Members: 4, Converged: 4, BaseSeed: 7, WallNs: 412_000_000,
+		Current: Stat{
+			N: 4, Mean: 0.0684210, Variance: 1.21e-08, Std: 1.1e-04,
+			CI95: 1.078e-04, Min: 0.0683, Max: 0.06855,
+		},
+		DOS: []DOSRow{
+			{Energy: -1.2, DOS: Stat{N: 3, Mean: 0.412, Variance: 4e-04, Std: 0.02, CI95: 0.0226, Min: 0.39, Max: 0.43}},
+			{Energy: -1.1, DOS: Stat{N: 3, Mean: 0.455, Variance: 9e-04, Std: 0.03, CI95: 0.0339, Min: 0.42, Max: 0.48}},
+		},
+		DOSMembers: 3,
+		MemberRows: []MemberRow{
+			{Index: 0, Seed: 7, RunID: "run-000001", Current: 0.06830, Iterations: 9, Converged: true, WallNs: 120_000_000},
+			{Index: 1, Seed: 8, RunID: "run-000002", Current: 0.06855, Iterations: 5, Converged: true, WarmStart: true, WallNs: 80_000_000},
+			{Index: 2, Seed: 9, RunID: "run-000003", Current: 0.06840, Iterations: 6, Converged: true, WarmStart: true, WallNs: 92_000_000},
+			{Index: 3, Seed: 7, RunID: "run-000001", Current: 0.06830, Iterations: 9, Converged: true, CacheHit: true},
+		},
+	}
+}
+
+// TestGolden locks every encoder's byte-exact output across all report
 // types and all three formats.
 func TestGolden(t *testing.T) {
 	cases := []struct {
@@ -105,6 +131,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"run", fixedRun()},
 		{"scaling", fixedScaling()},
+		{"ensemble", fixedEnsemble()},
 	}
 	for _, c := range cases {
 		for _, f := range []Format{Text, JSON, CSV} {

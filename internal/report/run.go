@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/device"
 	"repro/internal/qt"
 )
 
@@ -20,6 +21,17 @@ type DeviceInfo struct {
 	PhononModes    int     `json:"phonon_modes"`
 	Bias           float64 `json:"bias"`
 	Temperature    float64 `json:"temperature"`
+}
+
+// NewDeviceInfo extracts the structural header of a built device — the
+// shared opening block of the Run and Ensemble reports.
+func NewDeviceInfo(dev *device.Device) DeviceInfo {
+	p := dev.P
+	return DeviceInfo{
+		Atoms: p.Na, Slabs: p.Bnum, Orbitals: p.Norb, MaxNeighbours: dev.MaxNb(),
+		MomentumPoints: p.Nkz, EnergyPoints: p.NE, PhononModes: p.Nomega,
+		Bias: p.Vds, Temperature: p.TC,
+	}
 }
 
 // SlabRow is the transport-direction profile of one slab.
@@ -146,11 +158,7 @@ func (r *Run) CSV(w io.Writer) error {
 func NewRun(sim *qt.Simulation, res *qt.Result, kernel string, wallNs int64) *Run {
 	p := sim.Device.P
 	r := &Run{
-		Device: DeviceInfo{
-			Atoms: p.Na, Slabs: p.Bnum, Orbitals: p.Norb, MaxNeighbours: sim.Device.MaxNb(),
-			MomentumPoints: p.Nkz, EnergyPoints: p.NE, PhononModes: p.Nomega,
-			Bias: p.Vds, Temperature: p.TC,
-		},
+		Device:    NewDeviceInfo(sim.Device),
 		Kernel:    kernel,
 		Ranks:     sim.Ranks(),
 		Converged: res.Converged,

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/qt"
+)
+
+// disorderedConfig is the fast profiled configuration the study tests
+// fan out over disorder seeds.
+func disorderedConfig(bias float64) qt.RunConfig {
+	spec := smallSpec(bias)
+	spec.Profile = &device.Profile{
+		Doping: &device.Doping{Fraction: 0.25, Shift: -0.08},
+		Strain: &device.Strain{Amplitude: 0.04},
+	}
+	return qt.RunConfig{Spec: spec, MaxIterations: 40, Tolerance: 1e-6}
+}
+
+// postStudy submits a study and decodes the admission record.
+func postStudy(t *testing.T, ts *httptest.Server, req studyRequest, wantStatus int) StudyRecord {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/ensembles", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST /v1/ensembles = %d, want %d: %s", resp.StatusCode, wantStatus, raw)
+	}
+	var rec StudyRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("decode study record: %v: %s", err, raw)
+	}
+	return rec
+}
+
+// waitForStudy polls the registry until the study reaches the wanted
+// status.
+func waitForStudy(t *testing.T, s *Server, id string, want Status) StudyRecord {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := s.reg.GetStudy(id)
+		if ok && rec.Status == want {
+			return rec
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec, _ := s.reg.GetStudy(id)
+	t.Fatalf("study %s stuck in status %s, want %s", id, rec.Status, want)
+	return StudyRecord{}
+}
+
+// TestStudyEndToEnd is the acceptance path: an N=8 study through the
+// HTTP surface, member lineage in the registry, the reduced moments
+// matching a serial recomputation to 1e-12, and a resubmission answered
+// entirely from the cache without consuming a solver slot.
+func TestStudyEndToEnd(t *testing.T) {
+	const n = 8
+	s, ts := newService(t, Config{Slots: 2, QueueCap: 32})
+
+	rec := postStudy(t, ts, studyRequest{
+		Tenant: "lab", Members: n, BaseSeed: 1000, Config: disorderedConfig(0.1),
+	}, http.StatusAccepted)
+	if rec.Members != n || rec.Status != StatusQueued {
+		t.Fatalf("admission record: %+v", rec)
+	}
+	final := waitForStudy(t, s, rec.ID, StatusDone)
+
+	// Every member is a first-class registry run carrying study lineage.
+	if len(final.MemberRuns) != n {
+		t.Fatalf("MemberRuns = %d ids, want %d", len(final.MemberRuns), n)
+	}
+	linked := s.reg.List(Query{Study: final.ID, Limit: 100})
+	if len(linked) != n {
+		t.Fatalf("List(Study=%s) = %d runs, want %d", final.ID, len(linked), n)
+	}
+	seeds := map[uint64]bool{}
+	for _, mr := range linked {
+		if mr.Study != final.ID {
+			t.Fatalf("run %s study lineage %q, want %q", mr.ID, mr.Study, final.ID)
+		}
+		seeds[mr.Config.Spec.DisorderSeed] = true
+	}
+	for i := uint64(0); i < n; i++ {
+		if !seeds[1000+i] {
+			t.Fatalf("no member run with disorder seed %d", 1000+i)
+		}
+	}
+
+	// The reduced moments must match a serial two-pass recomputation over
+	// the per-member currents to 1e-12.
+	if final.Report == nil {
+		t.Fatal("finished study has no report")
+	}
+	if final.Report.Current.N != n {
+		t.Fatalf("Current.N = %d, want %d", final.Report.Current.N, n)
+	}
+	currents := make([]float64, 0, n)
+	for _, id := range final.MemberRuns {
+		mr, ok := s.reg.Get(id)
+		if !ok || !mr.Converged {
+			t.Fatalf("member %s missing or unconverged", id)
+		}
+		currents = append(currents, mr.Current)
+	}
+	mean := 0.0
+	for _, x := range currents {
+		mean += x
+	}
+	mean /= float64(n)
+	varSum := 0.0
+	for _, x := range currents {
+		varSum += (x - mean) * (x - mean)
+	}
+	variance := varSum / float64(n-1)
+	if relErr(final.Report.Current.Mean, mean) > 1e-12 {
+		t.Errorf("mean: reduced %.17g vs serial %.17g", final.Report.Current.Mean, mean)
+	}
+	if relErr(final.Report.Current.Variance, variance) > 1e-12 {
+		t.Errorf("variance: reduced %.17g vs serial %.17g", final.Report.Current.Variance, variance)
+	}
+	if final.Report.Current.Min == final.Report.Current.Max {
+		t.Error("disorder produced identical member currents — profile not applied?")
+	}
+	if final.Report.DOSMembers == 0 || len(final.Report.DOS) == 0 {
+		t.Errorf("DOS reduction empty: members %d, rows %d",
+			final.Report.DOSMembers, len(final.Report.DOS))
+	}
+
+	// Resubmitting the identical study is answered member-for-member from
+	// the content-addressed cache: no additional solver slot runs.
+	slotsBefore := s.slotRuns.Load()
+	rec2 := postStudy(t, ts, studyRequest{
+		Tenant: "lab", Members: n, BaseSeed: 1000, Config: disorderedConfig(0.1),
+	}, http.StatusAccepted)
+	final2 := waitForStudy(t, s, rec2.ID, StatusDone)
+	if got := s.slotRuns.Load(); got != slotsBefore {
+		t.Fatalf("resubmission consumed %d solver slots, want 0", got-slotsBefore)
+	}
+	if final2.CacheHits != n {
+		t.Fatalf("resubmission CacheHits = %d, want %d", final2.CacheHits, n)
+	}
+	if relErr(final2.Report.Current.Mean, final.Report.Current.Mean) > 0 {
+		t.Errorf("cached rerun mean %.17g != original %.17g",
+			final2.Report.Current.Mean, final.Report.Current.Mean)
+	}
+}
+
+// TestStudyWarmStartLineage runs members serially on one slot so every
+// member after the first finds a converged sibling Σ≷ state in the
+// cache (same WarmKey family — the disorder seed is excluded from the
+// family hash).
+func TestStudyWarmStartLineage(t *testing.T) {
+	const n = 4
+	s, _ := newService(t, Config{Slots: 1, QueueCap: 32})
+
+	rec, _, err := s.submitStudy(studyRequest{
+		Tenant: "lab", Members: n, BaseSeed: 7, Config: disorderedConfig(0.2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitForStudy(t, s, rec.ID, StatusDone)
+	if final.WarmStarts != n-1 {
+		t.Fatalf("WarmStarts = %d, want %d (members 2..%d seed from sibling states)",
+			final.WarmStarts, n-1, n)
+	}
+	for i, id := range final.MemberRuns {
+		mr, _ := s.reg.Get(id)
+		if i == 0 && mr.WarmStart {
+			t.Error("first member warm-started with an empty cache")
+		}
+		if i > 0 && !mr.WarmStart {
+			t.Errorf("member %d (%s) did not warm-start", i, id)
+		}
+	}
+}
+
+// TestStudyStream exercises the SSE surface: the live submit stream
+// carries study/member/done frames, and the replay of the finished
+// study reproduces the same sequence.
+func TestStudyStream(t *testing.T) {
+	const n = 3
+	s, ts := newService(t, Config{Slots: 2, QueueCap: 32})
+
+	body, _ := json.Marshal(studyRequest{
+		Tenant: "lab", Members: n, BaseSeed: 42, Config: disorderedConfig(0.15),
+	})
+	resp, err := http.Post(ts.URL+"/v1/ensembles?stream=sse", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	events, id := drainStudyStream(t, resp.Body)
+	if events["study"] != 1 || events["done"] != 1 || events["member"] != n {
+		t.Fatalf("live stream frames = %v, want 1 study / %d member / 1 done", events, n)
+	}
+
+	// Replay of the finished study yields the identical frame shape.
+	waitForStudy(t, s, id, StatusDone)
+	resp2, err := http.Get(ts.URL + "/v1/ensembles/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay, _ := drainStudyStream(t, resp2.Body)
+	if replay["study"] != 1 || replay["done"] != 1 || replay["member"] != n {
+		t.Fatalf("replay frames = %v, want 1 study / %d member / 1 done", replay, n)
+	}
+
+	// The report endpoint renders all three formats.
+	for _, format := range []string{"text", "json", "csv"} {
+		r3, err := http.Get(ts.URL + "/v1/ensembles/" + id + "/report?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r3.Body)
+		r3.Body.Close()
+		if r3.StatusCode != http.StatusOK || len(b) == 0 {
+			t.Fatalf("report format=%s: status %d, %d bytes", format, r3.StatusCode, len(b))
+		}
+	}
+}
+
+// drainStudyStream counts SSE frames by event name and extracts the
+// study id from the first frame.
+func drainStudyStream(t *testing.T, r io.Reader) (map[string]int, string) {
+	t.Helper()
+	events := map[string]int{}
+	var id string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			events[event]++
+		case strings.HasPrefix(line, "data: ") && event == "study" && id == "":
+			var rec StudyRecord
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &rec); err != nil {
+				t.Fatalf("decode study frame: %v", err)
+			}
+			id = rec.ID
+		}
+	}
+	return events, id
+}
+
+// TestStudyValidation covers the request-shape rejections.
+func TestStudyValidation(t *testing.T) {
+	_, ts := newService(t, Config{Slots: 1, QueueCap: 8})
+
+	for name, req := range map[string]studyRequest{
+		"zero members": {Members: 0, Config: disorderedConfig(0.1)},
+		"over cap":     {Members: maxStudyMembers + 1, Config: disorderedConfig(0.1)},
+		"no profile":   {Members: 4, Config: convergingConfig(0.1)},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/ensembles", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStudyCancel cancels a running study and expects a terminal
+// cancelled record without leaked members.
+func TestStudyCancel(t *testing.T) {
+	s, ts := newService(t, Config{Slots: 1, QueueCap: 64})
+
+	cfg := disorderedConfig(0.3)
+	cfg.MaxIterations = 60
+	cfg.Tolerance = 1e-12 // members hold their slot for the full budget
+	rec := postStudy(t, ts, studyRequest{
+		Tenant: "lab", Members: 6, BaseSeed: 1, Config: cfg,
+	}, http.StatusAccepted)
+	waitForStudy(t, s, rec.ID, StatusRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/ensembles/"+rec.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE study = %d, want 200", resp.StatusCode)
+	}
+	final := waitForStudy(t, s, rec.ID, StatusCancelled)
+	if final.Finished.IsZero() {
+		t.Error("cancelled study has no finish stamp")
+	}
+}
+
+// TestStudyPersistence restarts the registry directory and expects the
+// finished study (and its lineage) to survive, with member listing
+// filtered by study id.
+func TestStudyPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := newService(t, Config{Slots: 2, QueueCap: 32, DataDir: dir})
+	rec, _, err := s1.submitStudy(studyRequest{
+		Tenant: "lab", Members: 3, BaseSeed: 5, Config: disorderedConfig(0.25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitForStudy(t, s1, rec.ID, StatusDone)
+	s1.Close()
+
+	s2, err := New(Config{Slots: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.reg.GetStudy(final.ID)
+	if !ok {
+		t.Fatalf("study %s lost across restart", final.ID)
+	}
+	if got.Status != StatusDone || got.Report == nil {
+		t.Fatalf("reloaded study: status %s, report %v", got.Status, got.Report != nil)
+	}
+	if len(s2.reg.List(Query{Study: final.ID, Limit: 10})) != 3 {
+		t.Error("member lineage lost across restart")
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

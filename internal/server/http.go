@@ -34,6 +34,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/ensembles", s.handleSubmitStudy)
+	mux.HandleFunc("GET /v1/ensembles", s.handleListStudies)
+	mux.HandleFunc("GET /v1/ensembles/{id}", s.handleGetStudy)
+	mux.HandleFunc("DELETE /v1/ensembles/{id}", s.handleCancelStudy)
+	mux.HandleFunc("GET /v1/ensembles/{id}/stream", s.handleStudyStream)
+	mux.HandleFunc("GET /v1/ensembles/{id}/report", s.handleStudyReport)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	return mux
 }
@@ -74,7 +80,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := r.URL.Query().Get("stream") == "sse"
 
-	rec, j, err := s.submit(req.Tenant, req.Priority, req.Config)
+	rec, j, err := s.submit(req.Tenant, req.Priority, req.Config, "")
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter().Seconds())))
@@ -115,6 +121,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Status:  Status(qp.Get("status")),
 		Key:     qp.Get("key"),
 		WarmKey: qp.Get("warm_key"),
+		Study:   qp.Get("study"),
 		Limit:   defaultListLimit,
 	}
 	if v := qp.Get("limit"); v != "" {
@@ -283,6 +290,173 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, ownCa
 				break
 			}
 			final, _ := s.reg.Get(j.id)
+			report.SSE(w, "done", final)
+			fl.Flush()
+			return
+		}
+	}
+}
+
+// handleSubmitStudy admits one ensemble study. With ?stream=sse the
+// response is a live event stream ("study" admission frame, one "member"
+// frame per completed realization, terminal "done" frame with the
+// reduced report); disconnecting does NOT cancel the study — a study is
+// a batch artifact, not an interactive session. Without streaming the
+// queued record is returned with 202.
+func (s *Server) handleSubmitStudy(w http.ResponseWriter, r *http.Request) {
+	var req studyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "anonymous"
+	}
+	rec, st, err := s.submitStudy(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("stream") == "sse" {
+		s.streamStudy(w, r, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleListStudies(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	q := StudyQuery{
+		Tenant: qp.Get("tenant"),
+		Status: Status(qp.Get("status")),
+		Limit:  defaultListLimit,
+	}
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		q.Limit = min(n, maxListLimit)
+	}
+	recs := s.reg.ListStudies(q)
+	writeJSON(w, http.StatusOK, map[string]any{"studies": recs, "count": len(recs)})
+}
+
+func (s *Server) handleGetStudy(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.GetStudy(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleCancelStudy(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.cancelStudy(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleStudyStream attaches to a study's member-completion feed: a
+// finished study replays its recorded member rows, a live one streams
+// from the current member on.
+func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if st, ok := s.studyByID(id); ok {
+		s.streamStudy(w, r, st)
+		return
+	}
+	rec, ok := s.reg.GetStudy(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown study %q", id)
+		return
+	}
+	s.replayStudyStream(w, rec)
+}
+
+// handleStudyReport renders the reduced ensemble report in
+// text/json/csv; 409 until the study reaches a terminal state.
+func (s *Server) handleStudyReport(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.GetStudy(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	if rec.Report == nil {
+		writeError(w, http.StatusConflict, "study %s has no report (status %s)", rec.ID, rec.Status)
+		return
+	}
+	f, err := report.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", f.ContentType())
+	report.Write(w, f, rec.Report)
+}
+
+// replayStudyStream renders a finished study as the same frame sequence
+// a live stream produces: study, one member row each, done.
+func (s *Server) replayStudyStream(w http.ResponseWriter, rec StudyRecord) {
+	fl := sseHeaders(w)
+	if fl == nil {
+		return
+	}
+	report.SSE(w, "study", rec)
+	if rec.Report != nil {
+		for _, row := range rec.Report.MemberRows {
+			report.SSE(w, "member", row)
+		}
+	}
+	report.SSE(w, "done", rec)
+	fl.Flush()
+}
+
+// streamStudy streams a live study: a "study" frame with the registry
+// record, "member" frames as realizations complete (recorded ones are
+// replayed first), and a terminal "done" frame with the final record
+// (including the reduced report). Hanging up detaches without
+// cancelling — a study is a batch artifact, not an interactive session.
+func (s *Server) streamStudy(w http.ResponseWriter, r *http.Request, st *studyRun) {
+	fl := sseHeaders(w)
+	if fl == nil {
+		return
+	}
+	rec, _ := s.reg.GetStudy(st.id)
+	report.SSE(w, "study", rec)
+	fl.Flush()
+
+	snap, ch, unsub := st.subscribe(rec.Members)
+	defer unsub()
+	for _, row := range snap {
+		report.SSE(w, "member", row)
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case row := <-ch:
+			report.SSE(w, "member", row)
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		case <-st.done:
+			for {
+				select {
+				case row := <-ch:
+					report.SSE(w, "member", row)
+					continue
+				default:
+				}
+				break
+			}
+			final, _ := s.reg.GetStudy(st.id)
 			report.SSE(w, "done", final)
 			fl.Flush()
 			return

@@ -25,6 +25,9 @@ type metrics struct {
 	runDur   *obs.Histogram
 	runIters *obs.Histogram
 
+	ensembles       *obs.CounterVec // status
+	ensembleMembers *obs.Counter
+
 	sseBytes       *obs.Counter
 	reduceBytes    *obs.Counter
 	fallbackBlocks *obs.Counter
@@ -56,6 +59,10 @@ func newMetrics(cfg Config) *metrics {
 		runIters: r.Histogram("qtd_run_iterations",
 			"Self-consistent iterations to convergence (or the cap).",
 			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		ensembles: r.CounterVec("qtd_ensembles_total",
+			"Finished ensemble studies by terminal status.", "status"),
+		ensembleMembers: r.Counter("qtd_ensemble_members_total",
+			"Ensemble member runs completed (cached or solved)."),
 		sseBytes: r.Counter("qtd_sse_bytes_total",
 			"Distributed SSE exchange traffic across all runs (wire bytes)."),
 		reduceBytes: r.Counter("qtd_reduce_bytes_total",

@@ -65,10 +65,12 @@ type Record struct {
 
 	// Lineage: CacheHit means the response was served straight from the
 	// cache; WarmStart means the run was seeded with a cached Σ≷ state.
-	// SourceRun names the producing run in both cases.
+	// SourceRun names the producing run in both cases. Study names the
+	// ensemble study this run is a member of, if any.
 	CacheHit  bool   `json:"cache_hit,omitempty"`
 	WarmStart bool   `json:"warm_start,omitempty"`
 	SourceRun string `json:"source_run,omitempty"`
+	Study     string `json:"study,omitempty"`
 
 	// Report is the full rendered run report (trace included) once the
 	// run finished — what /v1/runs/{id}/report re-encodes.
@@ -77,7 +79,8 @@ type Record struct {
 
 // Registry is the persistent run registry: an in-memory index over
 // JSON-on-disk records (one file per run under dir; dir = "" keeps it
-// memory-only, the in-process test mode).
+// memory-only, the in-process test mode). Ensemble studies live next to
+// the runs as their own record kind (study-NNNNNN.json).
 type Registry struct {
 	mu    sync.Mutex
 	dir   string
@@ -87,13 +90,20 @@ type Registry struct {
 	// traces holds the Chrome-trace artifacts of WithTrace runs, encoded
 	// JSON by run ID; the disk form is <id>.trace.json next to the record.
 	traces map[string][]byte
+
+	studies    map[string]*StudyRecord
+	studyOrder []string
+	studySeq   int
 }
 
-// OpenRegistry loads (creating if needed) the registry at dir. Runs
-// still marked queued/running are relabelled lost: the process that
-// owned them is gone.
+// OpenRegistry loads (creating if needed) the registry at dir. Runs and
+// studies still marked queued/running are relabelled lost: the process
+// that owned them is gone.
 func OpenRegistry(dir string) (*Registry, error) {
-	r := &Registry{dir: dir, recs: map[string]*Record{}, traces: map[string][]byte{}}
+	r := &Registry{
+		dir: dir, recs: map[string]*Record{}, traces: map[string][]byte{},
+		studies: map[string]*StudyRecord{},
+	}
 	if dir == "" {
 		return r, nil
 	}
@@ -127,6 +137,32 @@ func OpenRegistry(dir string) (*Registry, error) {
 		r.order = append(r.order, rec.ID)
 		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "run-")); err == nil && n > r.seq {
 			r.seq = n
+		}
+	}
+	studies, err := filepath.Glob(filepath.Join(dir, "study-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(studies)
+	for _, f := range studies {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("server: registry read %s: %w", f, err)
+		}
+		var rec StudyRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("server: registry decode %s: %w", f, err)
+		}
+		if rec.Status == StatusQueued || rec.Status == StatusRunning {
+			rec.Status = StatusLost
+			if err := r.writeStudy(&rec); err != nil {
+				return nil, err
+			}
+		}
+		r.studies[rec.ID] = &rec
+		r.studyOrder = append(r.studyOrder, rec.ID)
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "study-")); err == nil && n > r.studySeq {
+			r.studySeq = n
 		}
 	}
 	return r, nil
@@ -229,7 +265,8 @@ type Query struct {
 	Status  Status
 	Key     string
 	WarmKey string
-	Limit   int // 0 = unlimited
+	Study   string // ensemble-study lineage filter
+	Limit   int    // 0 = unlimited
 }
 
 // List returns matching records, newest first.
@@ -249,6 +286,9 @@ func (r *Registry) List(q Query) []Record {
 			continue
 		}
 		if q.WarmKey != "" && rec.WarmKey != q.WarmKey {
+			continue
+		}
+		if q.Study != "" && rec.Study != q.Study {
 			continue
 		}
 		out = append(out, *rec)

@@ -76,6 +76,12 @@ type job struct {
 	trace []qt.IterStats
 	subs  map[chan qt.IterStats]bool
 
+	// result is the full facade result, set by execute before done is
+	// closed (the close is the happens-before edge readers synchronize
+	// on). The ensemble runner reads it for the DOS reduction — the
+	// registry record only carries scalars.
+	result *qt.Result
+
 	done     chan struct{}
 	doneOnce sync.Once
 }
@@ -132,8 +138,14 @@ type Server struct {
 	stop context.CancelFunc
 	wg   sync.WaitGroup
 
-	mu   sync.Mutex
-	jobs map[string]*job // admitted and not yet finalized
+	mu      sync.Mutex
+	jobs    map[string]*job      // admitted and not yet finalized
+	studies map[string]*studyRun // ensemble studies not yet finalized
+
+	// studyWg tracks study runner goroutines separately from the slot
+	// workers: a runner blocks on member jobs, so Close must drain the
+	// workers and finalize leftover queued jobs BEFORE waiting on it.
+	studyWg sync.WaitGroup
 
 	slotRuns  atomic.Int64 // runs that actually consumed a solver slot
 	runNsEWMA atomic.Int64 // smoothed run wall time, feeds Retry-After
@@ -151,13 +163,14 @@ func New(cfg Config) (*Server, error) {
 		log = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		cfg:   cfg,
-		q:     newQueue(cfg.QueueCap),
-		cache: newCache(cfg.CacheCap),
-		reg:   reg,
-		log:   log,
-		met:   newMetrics(cfg),
-		jobs:  map[string]*job{},
+		cfg:     cfg,
+		q:       newQueue(cfg.QueueCap),
+		cache:   newCache(cfg.CacheCap),
+		reg:     reg,
+		log:     log,
+		met:     newMetrics(cfg),
+		jobs:    map[string]*job{},
+		studies: map[string]*studyRun{},
 	}
 	s.ctx, s.stop = context.WithCancel(context.Background())
 	s.mux = s.routes()
@@ -189,6 +202,10 @@ func (s *Server) Close() {
 			s.finalizeCancelled(j)
 		}
 	}
+	// Only now can study runners finish: they block on member job done
+	// channels, which the finalize loop above closed for never-popped
+	// queued members.
+	s.studyWg.Wait()
 }
 
 // worker is one solver slot: it executes admitted jobs under the
@@ -254,9 +271,10 @@ func (s *Server) observeRunTime(d time.Duration) {
 
 // submit validates and admits one request. It returns the registry
 // record of the outcome: a cached answer (no slot consumed), or a queued
-// job (whose handle is returned for streaming/cancellation). err is
-// ErrQueueFull under backpressure, or a validation error.
-func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *job, error) {
+// job (whose handle is returned for streaming/cancellation). studyID,
+// when non-empty, stamps the record with its ensemble-study lineage.
+// err is ErrQueueFull under backpressure, or a validation error.
+func (s *Server) submit(tenant string, priority int, rc qt.RunConfig, studyID string) (Record, *job, error) {
 	sim, err := qt.NewFromConfig(rc)
 	if err != nil {
 		return Record{}, nil, err
@@ -272,7 +290,7 @@ func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *
 			ID: s.reg.NewID(), Tenant: tenant, Priority: priority,
 			Key: key, WarmKey: warmKey, Config: resolved,
 			Status: StatusCached, Submitted: now, Finished: now,
-			CacheHit: true, SourceRun: e.RunID,
+			CacheHit: true, SourceRun: e.RunID, Study: studyID,
 			Converged: e.Result.Converged, Iterations: e.Result.Iterations,
 			Current: e.Result.Current,
 			Report:  e.Report,
@@ -309,7 +327,7 @@ func (s *Server) submit(tenant string, priority int, rc qt.RunConfig) (Record, *
 	rec := Record{
 		ID: j.id, Tenant: tenant, Priority: priority,
 		Key: key, WarmKey: warmKey, Config: resolved,
-		Status: StatusQueued, Submitted: now,
+		Status: StatusQueued, Submitted: now, Study: studyID,
 	}
 	if err := s.reg.Put(rec); err != nil {
 		return Record{}, nil, err
@@ -421,6 +439,7 @@ func (s *Server) execute(j *job) {
 	res, err := run.Wait()
 	wall := time.Since(start)
 	s.observeRunTime(wall)
+	j.result = res // published to waiters by the deferred markDone
 
 	rec.Finished = time.Now().UTC()
 	rec.WallNs = wall.Nanoseconds()
