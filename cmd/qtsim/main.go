@@ -5,10 +5,13 @@
 // atomically resolved lattice temperature.
 //
 // The solver matrix is fully reachable: -ranks 0 runs the sequential
-// solver, -ranks P the distributed one (with -schedule phases|overlap),
-// and -kernel selects the SSE variant. -format text|json|csv selects
-// the report encoding (the machine-readable forms share the distsim
-// schema via internal/report).
+// solver, -ranks P the distributed one (with -schedule
+// phases|overlap|pipeline and -depth for the pipelined window), and
+// -kernel selects the SSE variant. -autoplan calibrates a cost model on
+// a short probe run and picks schedule, workers, pipeline depth and
+// GEMM blocking automatically; the resolved plan prints in the report
+// header. -format text|json|csv selects the report encoding (the
+// machine-readable forms share the distsim schema via internal/report).
 //
 // Device-zoo runs load a declarative disorder profile with -profile
 // FILE (JSON device.Profile: regions, gates, doping, vacancies, strain)
@@ -56,7 +59,9 @@ func main() {
 	dseed := flag.Uint64("dseed", 1, "disorder realization seed (requires -profile)")
 	members := flag.Int("ensemble", 0, "average N disorder realizations, seeds dseed..dseed+N-1 (requires -profile)")
 	ranks := flag.Int("ranks", 0, "simulated MPI world size (0 = sequential solver)")
-	schedule := flag.String("schedule", "phases", "distributed schedule: phases | overlap")
+	schedule := flag.String("schedule", "phases", "distributed schedule: phases | overlap | pipeline")
+	depth := flag.Int("depth", 0, "pipelined-iteration window depth (with -schedule pipeline; 0 = solver default)")
+	autoplan := flag.Bool("autoplan", false, "autotune schedule, workers, pipeline depth and GEMM blocking from a calibrated cost model (requires -ranks)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	traceFile := flag.String("trace", "", "record per-phase spans and write Chrome trace-event JSON to FILE (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print a Prometheus-text snapshot of the run's counters to stderr")
@@ -107,13 +112,24 @@ func main() {
 		}
 		opts = append(opts, qt.WithKernel(k))
 	}
-	if *ranks > 0 {
+	switch {
+	case *autoplan && *ranks < 1:
+		fmt.Fprintln(os.Stderr, "qtsim: -autoplan requires -ranks (the plan space is the distributed solver's)")
+		os.Exit(2)
+	case *autoplan:
+		// WithAutoPlan owns the schedule/worker/depth knobs; -schedule and
+		// -depth are ignored (qt.New rejects explicit combinations).
+		opts = append(opts, qt.WithRanks(*ranks), qt.WithAutoPlan())
+	case *ranks > 0:
 		sched, err := qt.ParseSchedule(*schedule)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qtsim:", err)
 			os.Exit(2)
 		}
 		opts = append(opts, qt.WithRanks(*ranks), qt.WithSchedule(sched))
+		if *depth > 0 {
+			opts = append(opts, qt.WithPipelineDepth(*depth))
+		}
 	}
 	if *traceFile != "" {
 		opts = append(opts, qt.WithTrace())
@@ -157,7 +173,13 @@ func main() {
 
 	rep := report.NewRun(sim, res, *kernel, wall.Nanoseconds())
 	if *ranks > 0 {
-		rep.Schedule = *schedule
+		// The resolved config is authoritative: under -autoplan the
+		// schedule may differ from the -schedule flag.
+		if sched := sim.Config().Schedule; sched != "" {
+			rep.Schedule = sched
+		} else {
+			rep.Schedule = *schedule
+		}
 	}
 	if err := report.Write(os.Stdout, f, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "qtsim:", err)

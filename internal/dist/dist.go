@@ -75,11 +75,25 @@ const (
 	// tile kernel, and the observable reduction — the paper's data-centric
 	// execution model, numerically identical to SchedulePhases.
 	ScheduleOverlap
+	// SchedulePipeline extends the task graph across a window of
+	// PipelineDepth self-consistent iterations: iteration n+1's boundary
+	// solves and point solves are enqueued as soon as the mixed Σ≷/Π≷ of
+	// iteration n is available for their points, the convergence
+	// IAllreduce rides along per iteration, and a conv fence node per
+	// iteration discards speculated work when convergence (or a
+	// cancellation riding the reduction) lands. The arithmetic per
+	// iteration is identical to the other schedules, so the recorded
+	// currents still match SchedulePhases bitwise — only the iteration
+	// barrier is gone.
+	SchedulePipeline
 )
 
 func (s Schedule) String() string {
-	if s == ScheduleOverlap {
+	switch s {
+	case ScheduleOverlap:
 		return "overlap"
+	case SchedulePipeline:
+		return "pipeline"
 	}
 	return "phases"
 }
@@ -106,10 +120,16 @@ type Options struct {
 	// Schedule selects bulk-synchronous phases (default) or the
 	// overlapped task-graph execution.
 	Schedule Schedule
-	// Workers is the per-rank worker-pool size of ScheduleOverlap
-	// (default 2: one worker can block in a collective wait while the
-	// other computes). Ignored by SchedulePhases.
+	// Workers is the per-rank worker-pool size of ScheduleOverlap and
+	// SchedulePipeline (default 2: one worker can block in a collective
+	// wait while the other computes). Ignored by SchedulePhases.
 	Workers int
+	// PipelineDepth is the iteration-window size of SchedulePipeline:
+	// how many self-consistent iterations one task graph spans before the
+	// ranks drain and the next window is built (default 2). Depth 1
+	// degenerates to a fenced overlap schedule. Setting it under any
+	// other schedule is a configuration error.
+	PipelineDepth int
 	// Precision selects fp64 (default) or the mixed binary16 SSE path:
 	// quantized tile kernel plus half-width wire payloads on all four
 	// Alltoallv exchanges.
@@ -183,14 +203,33 @@ func (o Options) normalize() (Options, error) {
 	if o.Tol <= 0 {
 		o.Tol = 1e-5
 	}
-	if o.Schedule != SchedulePhases && o.Schedule != ScheduleOverlap {
-		return o, fmt.Errorf("dist: unknown schedule %d", o.Schedule)
-	}
 	if o.Precision != PrecisionFP64 && o.Precision != PrecisionMixed {
 		return o, fmt.Errorf("dist: unknown precision %d", o.Precision)
 	}
 	if o.Precision != PrecisionMixed {
 		o.ErrorProbe = false
+	}
+	switch o.Schedule {
+	case SchedulePhases, ScheduleOverlap:
+		if o.PipelineDepth != 0 {
+			return o, fmt.Errorf("dist: PipelineDepth requires SchedulePipeline")
+		}
+	case SchedulePipeline:
+		if o.PipelineDepth == 0 {
+			o.PipelineDepth = 2
+		}
+		if o.PipelineDepth < 1 {
+			return o, fmt.Errorf("dist: pipeline depth must be >= 1, got %d", o.PipelineDepth)
+		}
+		if o.ErrorProbe {
+			// The probe is a blocking max-reduction inside every
+			// iteration: a worker parks in it until all ranks reach the
+			// same iteration, which reinstates exactly the cross-iteration
+			// barrier the pipeline exists to remove.
+			return o, fmt.Errorf("dist: ErrorProbe is incompatible with SchedulePipeline: its blocking max-reduction would serialize the iteration window")
+		}
+	default:
+		return o, fmt.Errorf("dist: unknown schedule %d", o.Schedule)
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
@@ -272,8 +311,11 @@ func Run(dev *device.Device, opts Options) (*Result, error) {
 	w := comm.NewWorld(opts.Ranks)
 	res := &Result{}
 	if err := w.Run(func(c *comm.Comm) error {
-		if opts.Schedule == ScheduleOverlap {
+		switch opts.Schedule {
+		case ScheduleOverlap:
 			return runRankOverlap(c, dev, opts, res)
+		case SchedulePipeline:
+			return runRankPipeline(c, dev, opts, res)
 		}
 		return runRank(c, dev, opts, res)
 	}); err != nil {

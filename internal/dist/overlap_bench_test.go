@@ -33,12 +33,13 @@ func benchDevice(b *testing.B) *device.Device {
 	return dev
 }
 
-func benchSchedule(b *testing.B, sched Schedule, workers int) {
+func benchSchedule(b *testing.B, sched Schedule, workers, depth int) {
 	b.ReportAllocs()
 	dev := benchDevice(b)
 	opts := DefaultOptions(4)
 	opts.Schedule = sched
 	opts.Workers = workers
+	opts.PipelineDepth = depth
 	opts.MaxIter = 3
 	opts.Tol = 1e-300
 	b.ResetTimer()
@@ -55,7 +56,16 @@ func benchSchedule(b *testing.B, sched Schedule, workers int) {
 	}
 }
 
-func BenchmarkSchedulePhases(b *testing.B)    { benchSchedule(b, SchedulePhases, 0) }
-func BenchmarkScheduleOverlap1W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 1) }
-func BenchmarkScheduleOverlap2W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 2) }
-func BenchmarkScheduleOverlap4W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 4) }
+func BenchmarkSchedulePhases(b *testing.B)    { benchSchedule(b, SchedulePhases, 0, 0) }
+func BenchmarkScheduleOverlap1W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 1, 0) }
+func BenchmarkScheduleOverlap2W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 2, 0) }
+func BenchmarkScheduleOverlap4W(b *testing.B) { benchSchedule(b, ScheduleOverlap, 4, 0) }
+
+// The pipelined variants remove the iteration barrier on top of the
+// overlap graph: the next iteration's BC solves and electron points
+// start as soon as their mixed Σ is in, so the cross-iteration bubble
+// closes. Depth 2 is the default window; deeper windows only pay off
+// when convergence is far away.
+func BenchmarkSchedulePipeline2W(b *testing.B)   { benchSchedule(b, SchedulePipeline, 2, 2) }
+func BenchmarkSchedulePipeline4W(b *testing.B)   { benchSchedule(b, SchedulePipeline, 4, 2) }
+func BenchmarkSchedulePipeline4WD3(b *testing.B) { benchSchedule(b, SchedulePipeline, 4, 3) }

@@ -1,0 +1,622 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bc"
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/obs"
+	"repro/internal/sdfg"
+	"repro/internal/tensor"
+)
+
+// stopRideFlag is the cancellation contribution rank 0 adds to the
+// ride-along control word of the observable reduction. Failure flags are
+// whole (each failing rank adds 1, the sum stays integral), so a
+// fractional part marks a pure stop request and the two agreements share
+// one reduced word without a second collective. 0.5 is exact in binary
+// floating point, so the encoding survives the summation bit-for-bit.
+const stopRideFlag = 0.5
+
+// flagFailure reports whether the reduced control word carries at least
+// one rank's solve failure (failure outranks a stop request).
+func flagFailure(f float64) bool { return f >= 1 }
+
+// pipeRun is one rank's control state across the whole pipelined run:
+// the speculation fence plus the convergence bookkeeping every rank
+// tracks symmetrically. All plain fields are written only by conv nodes
+// (which form a dependency chain) or between window drains, so the
+// executor's scheduling lock and the drain barrier order every access;
+// stopAt alone is read by speculative nodes racing the deciding conv
+// node and is therefore atomic.
+type pipeRun struct {
+	// stopAt is the first absolute iteration index whose work must be
+	// discarded. Speculative nodes consult it to cut work short; comm
+	// nodes consult it after the conv fence of the previous iteration,
+	// where its value is identical on every rank (it derives only from
+	// globally reduced data), so all ranks skip or post each collective
+	// in agreement.
+	stopAt atomic.Int64
+
+	halt      bool // set with stopAt: no further window is built
+	converged bool
+	failed    bool
+	err       error // this rank's own solve failure, if any
+
+	stopErr  error // rank 0: pending Progress cancellation
+	wantStop bool  // rank 0: ride the stop request on the next reduction
+
+	prev     float64     // previous valid iteration's global current
+	global   *partialObs // last valid iteration's reduced observables
+	lastConv time.Duration
+	decided  time.Duration // window-relative instant the halt decision landed
+}
+
+// windowIter is the per-iteration slice of a window's state: the shared
+// iterRun node state plus private result slots and the measured
+// compute/communication split the conv node folds into IterStats.
+type windowIter struct {
+	st    *iterRun
+	elRes []*negf.ElectronPointResult
+	phRes []*negf.PhononPointResult
+
+	compNs, commNs atomic.Int64
+}
+
+// runRankPipeline is one rank's life under SchedulePipeline: the task
+// graph spans a window of PipelineDepth iterations, so iteration n+1's
+// boundary and point solves start as soon as iteration n's mixed Σ≷/Π≷
+// is available for their points — the cross-iteration form of the §7.1.3
+// overlap. Convergence and cancellation agreement ride the per-iteration
+// observable IAllreduce (no dedicated barrier or agreement collective),
+// and the per-iteration conv fence discards speculated work when either
+// lands. Per-iteration arithmetic is untouched, so the recorded currents
+// match SchedulePhases bitwise.
+func runRankPipeline(c *comm.Comm, dev *device.Device, opts Options, res *Result) error {
+	rs := newRankState(c, dev, opts)
+	r := c.Rank()
+	ex := sdfg.NewExecutor(opts.Workers)
+
+	trc := opts.Tracer
+	var traceBase int64
+	if trc != nil {
+		ex.Observer = func(label string, kind sdfg.Kind, worker int, start, end time.Duration) {
+			cat := "task"
+			switch {
+			case label == "sse/tile":
+				cat = "sse"
+			case label == "post/obs" || label == "wait/obs":
+				cat = "reduce"
+			case kind == sdfg.Comm:
+				cat = "exchange"
+			}
+			trc.Add(obs.Span{
+				Name: label, Cat: cat, Rank: r, Track: 100 + worker, I: -1, J: -1,
+				Start: traceBase + start.Nanoseconds(), Dur: (end - start).Nanoseconds(),
+			})
+		}
+	}
+
+	pr := &pipeRun{prev: math.NaN()}
+	pr.stopAt.Store(math.MaxInt64)
+
+	for base := 0; base < opts.MaxIter && !pr.halt; {
+		w := opts.PipelineDepth
+		if rem := opts.MaxIter - base; w > rem {
+			w = rem
+		}
+		winStart := time.Now()
+		tWin := trc.Begin()
+		traceBase = tWin
+		pr.lastConv = 0
+		win := make([]*windowIter, w)
+		for k := range win {
+			win[k] = &windowIter{
+				st:    &iterRun{},
+				elRes: make([]*negf.ElectronPointResult, len(rs.pairs)),
+				phRes: make([]*negf.PhononPointResult, len(rs.points)),
+			}
+		}
+		g := rs.buildWindowGraph(opts, pr, win, base, winStart, res)
+		if _, err := ex.Run(g); err != nil {
+			return fmt.Errorf("dist: pipeline window at iteration %d: %w", base, err)
+		}
+		drain := time.Since(winStart)
+		trc.End(r, 0, "iter", "window", base, -1, tWin)
+		if trc != nil && pr.halt {
+			// The tail between the halt decision and the window drain is
+			// pure speculation overhead: record it as a stall span, plus
+			// one marker per discarded iteration.
+			trc.Add(obs.Span{
+				Name: "pipeline/fence", Cat: "stall", Rank: r, Track: 99, I: base, J: -1,
+				Start: tWin + pr.decided.Nanoseconds(), Dur: (drain - pr.decided).Nanoseconds(),
+			})
+			for k := range win {
+				if a := base + k; int64(a) >= pr.stopAt.Load() {
+					trc.Add(obs.Span{
+						Name: "pipeline/discard", Cat: "stall", Rank: r, Track: 99, I: a, J: -1,
+						Start: tWin + pr.decided.Nanoseconds(), Dur: (drain - pr.decided).Nanoseconds(),
+					})
+				}
+			}
+		}
+		if pr.failed {
+			if pr.err != nil {
+				return fmt.Errorf("dist: iteration %d: %w", pr.stopAt.Load(), pr.err)
+			}
+			return nil
+		}
+		base += w
+	}
+
+	if r == 0 {
+		res.stopErr = pr.stopErr
+	}
+	rs.epilogue(opts, res, pr.converged, pr.global)
+	return nil
+}
+
+// buildWindowGraph lays out a window of w consecutive self-consistent
+// iterations as one dataflow graph. Each iteration replicates the
+// overlapped schedule's node structure with three changes:
+//
+//   - mixing is split into per-point nodes, so iteration k+1's solve of a
+//     point depends only on the mixed Σ (or Π) of that same point — the
+//     finest-grained cross-iteration release the data allows;
+//   - every comm post of iteration k+1 additionally depends on the conv
+//     fence of iteration k, so the (symmetric) skip decision is settled
+//     before any rank commits to a collective — all ranks post or all
+//     skip, keeping the nonblocking exchanges matched;
+//   - a conv node per iteration consumes the ride-along reduction,
+//     records IterStats, runs the Progress hook on rank 0 and moves the
+//     speculation fence on convergence, failure, or a stop request.
+//
+// Decisions derive only from globally reduced values (the current and
+// the control word), so every rank moves the fence identically with no
+// agreement collective of its own; a rank-0 cancellation is folded into
+// the next reduction's control word instead of being acted on locally.
+func (rs *rankState) buildWindowGraph(opts Options, pr *pipeRun, win []*windowIter,
+	base int, winStart time.Time, res *Result) *sdfg.Graph {
+
+	p := rs.dev.P
+	c := rs.c
+	r := c.Rank()
+	g := sdfg.New()
+
+	var prevConv sdfg.NodeID = -1
+	var prevBCEl, prevBCPh, prevMixSig, prevMixPi []sdfg.NodeID
+
+	for k := range win {
+		k := k
+		a := base + k
+		wi := win[k]
+		st := wi.st
+		st.part = newPartialObs(p)
+		st.plan = decomp.NewDaCePlan(r, rs.tiles, rs.src, rs.atomSets, rs.in).
+			WithPrecision(opts.Precision)
+
+		skip := func() bool { return pr.stopAt.Load() <= int64(a) }
+		// add wraps every node with the per-iteration compute/comm timers
+		// the conv node folds into IterStats — conv depends (transitively)
+		// on every node of its iteration, so the counters are complete
+		// when it reads them.
+		add := func(spec sdfg.Spec, deps ...sdfg.NodeID) sdfg.NodeID {
+			inner := spec.Run
+			isComm := spec.Kind == sdfg.Comm
+			spec.Run = func() error {
+				t0 := time.Now()
+				err := inner()
+				d := time.Since(t0).Nanoseconds()
+				if isComm {
+					wi.commNs.Add(d)
+				} else {
+					wi.compNs.Add(d)
+				}
+				return err
+			}
+			return g.Add(spec, deps...)
+		}
+
+		// ── GF solves. A point's BC chain serializes on the previous
+		// iteration's BC node for the same point: the boundary depends
+		// only on (momentum, energy) — the iteration-lag bc.Cache
+		// tolerates trivially — so every iteration past the first is a
+		// guaranteed cache hit instead of a duplicated decimation.
+		elDone := make([]sdfg.NodeID, len(rs.pairs))
+		bcEl := make([]sdfg.NodeID, len(rs.pairs))
+		for i, pair := range rs.pairs {
+			i, ik, ie := i, pair[0], pair[1]
+			var deps []sdfg.NodeID
+			if opts.CacheMode == bc.CacheBC {
+				var bdeps []sdfg.NodeID
+				if k > 0 {
+					bdeps = append(bdeps, prevBCEl[i])
+				}
+				bcEl[i] = add(sdfg.Spec{
+					Label: fmt.Sprintf("bc/el/%d,%d", ik, ie), Phase: 3 * k,
+					Run: func() error {
+						if skip() || st.failed() {
+							return nil
+						}
+						if err := rs.ps.PrepareElectronBC(rs.hams[ik], ik, ie); err != nil {
+							st.fail(fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
+						}
+						return nil
+					},
+				}, bdeps...)
+				deps = append(deps, bcEl[i])
+			}
+			if k > 0 {
+				deps = append(deps, prevMixSig[i])
+			}
+			elDone[i] = add(sdfg.Spec{
+				Label: fmt.Sprintf("rgf/el/%d,%d", ik, ie), Phase: 3 * k,
+				Run: func() error {
+					if skip() || st.failed() {
+						return nil
+					}
+					pt, err := rs.ps.SolveElectronPoint(rs.hams[ik], ik, ie)
+					if err != nil {
+						st.fail(fmt.Errorf("point (kz=%d, E=%d): %w", ik, ie, err))
+						return nil
+					}
+					wi.elRes[i] = pt
+					return nil
+				},
+			}, deps...)
+		}
+		phDone := make([]sdfg.NodeID, len(rs.points))
+		bcPh := make([]sdfg.NodeID, len(rs.points))
+		for j, point := range rs.points {
+			j, iq, m := j, point[0], point[1]
+			var deps []sdfg.NodeID
+			if opts.CacheMode == bc.CacheBC {
+				var bdeps []sdfg.NodeID
+				if k > 0 {
+					bdeps = append(bdeps, prevBCPh[j])
+				}
+				bcPh[j] = add(sdfg.Spec{
+					Label: fmt.Sprintf("bc/ph/%d,%d", iq, m), Phase: 3 * k,
+					Run: func() error {
+						if skip() || st.failed() {
+							return nil
+						}
+						if err := rs.ps.PreparePhononBC(rs.dyns[iq], iq, m); err != nil {
+							st.fail(fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
+						}
+						return nil
+					},
+				}, bdeps...)
+				deps = append(deps, bcPh[j])
+			}
+			if k > 0 {
+				deps = append(deps, prevMixPi[j])
+			}
+			phDone[j] = add(sdfg.Spec{
+				Label: fmt.Sprintf("rgf/ph/%d,%d", iq, m), Phase: 3 * k,
+				Run: func() error {
+					if skip() || st.failed() {
+						return nil
+					}
+					pt, err := rs.ps.SolvePhononPoint(rs.dyns[iq], iq, m)
+					if err != nil {
+						st.fail(fmt.Errorf("point (qz=%d, ω=%d): %w", iq, m, err))
+						return nil
+					}
+					wi.phRes[j] = pt
+					return nil
+				},
+			}, deps...)
+		}
+
+		elAccum := add(sdfg.Spec{
+			Label: "accum/el", Phase: 3 * k,
+			Run: func() error {
+				if skip() || st.failed() {
+					return nil
+				}
+				for i, pair := range rs.pairs {
+					st.part.addElectron(p, pair[1], wi.elRes[i])
+				}
+				return nil
+			},
+		}, elDone...)
+		// accum/ph overwrites the shared dos/occ accumulators the
+		// temperature map is fitted from, so — unlike the pure speculation
+		// upstream — it is fenced on the previous conv: a converged
+		// decision keeps the accumulators at the converged iteration.
+		phAccumDeps := append([]sdfg.NodeID{}, phDone...)
+		if prevConv >= 0 {
+			phAccumDeps = append(phAccumDeps, prevConv)
+		}
+		phAccum := add(sdfg.Spec{
+			Label: "accum/ph", Phase: 3 * k,
+			Run: func() error {
+				if skip() || st.failed() {
+					return nil
+				}
+				for at := range rs.dos {
+					for m := range rs.dos[at] {
+						rs.dos[at][m], rs.occ[at][m] = 0, 0
+					}
+				}
+				for j, point := range rs.points {
+					st.part.addPhonon(p, point[1], wi.phRes[j], rs.dos, rs.occ)
+				}
+				return nil
+			},
+		}, phAccumDeps...)
+
+		elLoss := add(sdfg.Spec{
+			Label: "collision/el", Phase: 3 * k,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.part.elLoss = rs.ps.ElectronCollisionSum(rs.pairs)
+				return nil
+			},
+		}, elDone...)
+		phGain := add(sdfg.Spec{
+			Label: "collision/ph", Phase: 3 * k,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.part.phGain = rs.ps.PhononCollisionSum(rs.points)
+				return nil
+			},
+		}, phDone...)
+
+		// ── SSE exchanges. Posts gate on the previous conv fence: the
+		// skip decision below derives only from reduced data settled at
+		// that fence, so it is identical on every rank — all post or all
+		// skip, and the nonblocking collectives stay matched. Within one
+		// iteration the decision cannot change (only this iteration's own
+		// conv, which runs after all of these nodes, can move the fence
+		// into it), so a posted request is always waited.
+		commDeps := func(deps ...sdfg.NodeID) []sdfg.NodeID {
+			if prevConv >= 0 {
+				deps = append(deps, prevConv)
+			}
+			return deps
+		}
+		postG := add(sdfg.Spec{
+			Label: "post/G", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.reqG = st.plan.PostG(c)
+				return nil
+			},
+		}, commDeps(elDone...)...)
+		postD := add(sdfg.Spec{
+			Label: "post/D", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.reqD = st.plan.PostD(c)
+				return nil
+			},
+		}, commDeps(phDone...)...)
+		waitG := add(sdfg.Spec{
+			Label: "wait/G", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if st.reqG == nil {
+					return nil
+				}
+				st.plan.UnpackG(st.reqG.Wait())
+				return nil
+			},
+		}, postG, postD)
+		waitD := add(sdfg.Spec{
+			Label: "wait/D", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if st.reqD == nil {
+					return nil
+				}
+				st.plan.UnpackD(st.reqD.Wait())
+				return nil
+			},
+		}, postD, postG)
+		tile := add(sdfg.Spec{
+			Label: "sse/tile", Phase: 3*k + 1,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.plan.ComputeTile()
+				st.part.sse = st.plan.Output().Stats
+				return nil
+			},
+		}, waitG, waitD)
+		postSig := add(sdfg.Spec{
+			Label: "post/Sigma", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.reqSig = st.plan.PostSigma(c)
+				return nil
+			},
+		}, tile)
+		postPi := add(sdfg.Spec{
+			Label: "post/Pi", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				st.reqPi = st.plan.PostPi(c)
+				return nil
+			},
+		}, tile)
+		waitSig := add(sdfg.Spec{
+			Label: "wait/Sigma", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if st.reqSig == nil {
+					return nil
+				}
+				st.plan.UnpackSigma(st.reqSig.Wait())
+				return nil
+			},
+		}, postSig, postPi)
+		waitPi := add(sdfg.Spec{
+			Label: "wait/Pi", Kind: sdfg.Comm, Phase: 3*k + 1,
+			Run: func() error {
+				if st.reqPi == nil {
+					return nil
+				}
+				st.plan.UnpackPi(st.reqPi.Wait())
+				return nil
+			},
+		}, postPi, postSig)
+
+		// Per-point mixing: the cross-iteration release points. The next
+		// iteration's solve of point i starts the moment its own Σ plane
+		// is mixed — it does not wait for the whole mixing sweep. A
+		// skipped mix leaves the solver state at the last valid iteration,
+		// which is exactly the discard rule of the speculation fence.
+		mixSig := make([]sdfg.NodeID, len(rs.pairs))
+		for i, pair := range rs.pairs {
+			ik, ie := pair[0], pair[1]
+			mixSig[i] = add(sdfg.Spec{
+				Label: fmt.Sprintf("mix/Sigma/%d,%d", ik, ie), Phase: 3*k + 1,
+				Run: func() error {
+					if skip() {
+						return nil
+					}
+					out := st.plan.Output()
+					tensor.MixSlice(rs.ps.SigL.Plane(ik, ie), out.SigL.Plane(ik, ie), opts.Mixing)
+					tensor.MixSlice(rs.ps.SigG.Plane(ik, ie), out.SigG.Plane(ik, ie), opts.Mixing)
+					return nil
+				},
+			}, waitSig, elLoss)
+		}
+		mixPi := make([]sdfg.NodeID, len(rs.points))
+		for j, point := range rs.points {
+			iq, m := point[0], point[1]
+			mixPi[j] = add(sdfg.Spec{
+				Label: fmt.Sprintf("mix/Pi/%d,%d", iq, m), Phase: 3*k + 1,
+				Run: func() error {
+					if skip() {
+						return nil
+					}
+					out := st.plan.Output()
+					tensor.MixSlice(rs.ps.PiL.Plane(iq, m-1), out.PiL.Plane(iq, m-1), opts.Mixing)
+					tensor.MixSlice(rs.ps.PiG.Plane(iq, m-1), out.PiG.Plane(iq, m-1), opts.Mixing)
+					return nil
+				},
+			}, waitPi, phGain)
+		}
+
+		// ── Ride-along reduction: observables plus the control word
+		// (failure count + fractional stop request) in one IAllreduce.
+		obsPost := add(sdfg.Spec{
+			Label: "post/obs", Kind: sdfg.Comm, Phase: 3*k + 2,
+			Run: func() error {
+				if skip() {
+					return nil
+				}
+				if st.failed() {
+					st.part.flag = 1
+				}
+				if r == 0 && pr.wantStop {
+					st.part.flag += stopRideFlag
+				}
+				st.part.sseB = float64(st.plan.OffRankBytes())
+				st.part.redB = reduceShare(c, vecLen(p))
+				st.part.fbk = float64(st.plan.FallbackBlocks())
+				st.reqObs = c.IAllreduce(decomp.SlotObs, st.part.pack())
+				return nil
+			},
+		}, elAccum, phAccum, elLoss, phGain, tile, postSig, postPi)
+		waitObs := add(sdfg.Spec{
+			Label: "wait/obs", Kind: sdfg.Comm, Phase: 3*k + 2,
+			Run: func() error {
+				if st.reqObs == nil {
+					return nil
+				}
+				st.global = unpackObs(st.reqObs.Wait(), p)
+				return nil
+			},
+		}, obsPost)
+
+		// ── Conv fence: the correctness gate of the speculation. It runs
+		// after every node of its iteration (transitively through its
+		// deps), computes the identical decision on every rank from the
+		// reduced data, and moves the fence — discarding the in-flight
+		// speculated iterations behind it.
+		convDeps := append([]sdfg.NodeID{waitObs}, mixSig...)
+		convDeps = append(convDeps, mixPi...)
+		if prevConv >= 0 {
+			convDeps = append(convDeps, prevConv)
+		}
+		conv := add(sdfg.Spec{
+			Label: fmt.Sprintf("conv/%d", a), Phase: 3*k + 2,
+			Run: func() error {
+				if pr.stopAt.Load() <= int64(a) {
+					return nil
+				}
+				gl := st.global
+				if gl == nil {
+					return nil
+				}
+				if gl.flag != 0 {
+					pr.stopAt.Store(int64(a))
+					pr.halt = true
+					pr.decided = time.Since(winStart)
+					if flagFailure(gl.flag) {
+						pr.failed = true
+						pr.err = st.err // nil on healthy ranks
+					}
+					return nil
+				}
+				cur := gl.currentL
+				rel := math.Abs(cur-pr.prev) / math.Max(math.Abs(cur), 1e-300)
+				now := time.Since(winStart)
+				if r == 0 {
+					iterSt := IterStats{
+						Iter: a, Current: cur, RelChange: rel,
+						ElEnergyLoss: gl.elLoss, PhEnergyGain: gl.phGain,
+						SSE:      gl.sse,
+						SSEBytes: int64(gl.sseB), ReduceBytes: int64(gl.redB),
+						FallbackBlocks: int64(gl.fbk),
+						WallNs:         (now - pr.lastConv).Nanoseconds(),
+						ComputeNs:      wi.compNs.Load(),
+						CommNs:         wi.commNs.Load(),
+					}
+					res.IterTrace = append(res.IterTrace, iterSt)
+					if opts.Progress != nil && pr.stopErr == nil {
+						if err := opts.Progress(iterSt); err != nil {
+							pr.stopErr = err
+							pr.wantStop = true
+						}
+					}
+				}
+				pr.lastConv = now
+				pr.global = gl
+				pr.prev = cur
+				if a > 0 && rel < opts.Tol {
+					pr.converged = true
+					pr.halt = true
+					pr.decided = now
+					pr.stopAt.Store(int64(a + 1))
+				}
+				return nil
+			},
+		}, convDeps...)
+
+		prevConv = conv
+		prevBCEl, prevBCPh = bcEl, bcPh
+		prevMixSig, prevMixPi = mixSig, mixPi
+	}
+	return g
+}

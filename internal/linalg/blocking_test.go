@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockingBitwiseInvariance is the contract that lets the plan
+// autotuner retune cache blocking at runtime: every admissible blocking
+// produces bitwise-identical GEMM results, because the per-element
+// accumulation order (ascending k, single accumulator) does not depend
+// on how the loops are tiled. Exercised across tile-straddling shapes,
+// all Op pairs, and deliberately awkward sizes (minimum legal tile,
+// non-power-of-two, larger-than-problem).
+func TestBlockingBitwiseInvariance(t *testing.T) {
+	defer ResetBlocking()
+	rng := rand.New(rand.NewSource(1009))
+	shapes := [][3]int{{7, 23, 130}, {130, 9, 7}, {65, 65, 65}}
+	blockings := []BlockSizes{
+		{MC: gemmMR, KC: 1, NC: gemmNR}, // minimum legal: every loop degenerates
+		{MC: 24, KC: 17, NC: 40},        // non-power-of-two, straddles the shapes
+		{MC: 512, KC: 512, NC: 512},     // larger than every problem dimension
+		DefaultBlocking(),
+	}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		for _, opA := range allOps {
+			for _, opB := range allOps {
+				a, b, c0 := makeOperands(rng, m, n, k, opA, opB)
+				alpha, beta := complex(1.3, -0.7), complex(0.5, 2)
+				want := c0.Clone()
+				referenceGEMM(alpha, a, opA, b, opB, beta, want)
+				for _, bs := range blockings {
+					if err := SetBlocking(bs); err != nil {
+						t.Fatal(err)
+					}
+					got := c0.Clone()
+					runBlocked(alpha, a, opA, b, opB, beta, got)
+					checkBitwise(t, "blocking", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockingValidation(t *testing.T) {
+	defer ResetBlocking()
+	if err := SetBlocking(BlockSizes{MC: 1, KC: 128, NC: 256}); err == nil {
+		t.Error("MC below the register tile must be rejected")
+	}
+	if err := SetBlocking(BlockSizes{MC: 128, KC: 0, NC: 256}); err == nil {
+		t.Error("KC < 1 must be rejected")
+	}
+	if err := SetBlocking(BlockSizes{MC: 128, KC: 128, NC: 4}); err == nil {
+		t.Error("NC below the register tile must be rejected")
+	}
+	if err := SetBlocking(BlockSizes{MC: 64, KC: 64, NC: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Blocking(); got != (BlockSizes{MC: 64, KC: 64, NC: 64}) {
+		t.Errorf("Blocking() = %+v after SetBlocking", got)
+	}
+	ResetBlocking()
+	if got := Blocking(); got != DefaultBlocking() {
+		t.Errorf("ResetBlocking left %+v", got)
+	}
+}

@@ -15,6 +15,10 @@ package linalg
 // workers) produces bitwise-identical results. The property suite in
 // gemm_blocked_test.go pins this across all Op combinations and edge
 // shapes.
+//
+// The MC/KC/NC constants below are compile-time defaults; the effective
+// sizes come from Blocking() (see blocking.go) so the plan autotuner can
+// retune the cache footprint at runtime without touching results.
 const (
 	// gemmMR×gemmNR is the register tile: 2×8 complex128 = 8 ymm
 	// accumulators, which together with 4 broadcast registers and 4
@@ -48,15 +52,16 @@ func gemmBlocked(alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta co
 		kk = a.Rows
 	}
 	ldc := c.Cols
-	pb.ensure((gemmMC+gemmMR)*gemmKC, (gemmNC+gemmNR)*gemmKC)
-	for jc := 0; jc < n; jc += gemmNC {
-		nc := min2(gemmNC, n-jc)
-		for pc := 0; pc < kk; pc += gemmKC {
-			kc := min2(gemmKC, kk-pc)
+	bs := Blocking()
+	pb.ensure((bs.MC+gemmMR)*bs.KC, (bs.NC+gemmNR)*bs.KC)
+	for jc := 0; jc < n; jc += bs.NC {
+		nc := min2(bs.NC, n-jc)
+		for pc := 0; pc < kk; pc += bs.KC {
+			kc := min2(bs.KC, kk-pc)
 			first := pc == 0
 			packB(pb.b, b, opB, pc, kc, jc, nc)
-			for ic := lo; ic < hi; ic += gemmMC {
-				mc := min2(gemmMC, hi-ic)
+			for ic := lo; ic < hi; ic += bs.MC {
+				mc := min2(bs.MC, hi-ic)
 				packA(pb.a, alpha, a, opA, ic, mc, pc, kc)
 				for jt := 0; jt < nc; jt += gemmNR {
 					bp := pb.b[jt*kc:]

@@ -1,0 +1,232 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/negf"
+	"repro/internal/sdfg"
+	"repro/internal/stream"
+)
+
+// Candidate is one point of the plan search space.
+type Candidate struct {
+	Schedule      dist.Schedule
+	Workers       int
+	PipelineDepth int // 0 unless Schedule is SchedulePipeline
+}
+
+// Plan is a chosen execution plan: the argmin candidate, the GEMM cache
+// blocking picked by direct measurement, and the virtual-time score the
+// choice was based on.
+type Plan struct {
+	Candidate
+	Blocking linalg.BlockSizes
+	// PredictedNs is the modeled steady-state makespan of ONE
+	// self-consistent iteration on the slowest rank.
+	PredictedNs float64
+}
+
+func (p Plan) String() string {
+	s := fmt.Sprintf("%s w=%d", p.Schedule, p.Workers)
+	if p.Schedule == dist.SchedulePipeline {
+		s += fmt.Sprintf(" d=%d", p.PipelineDepth)
+	}
+	if p.Blocking != linalg.DefaultBlocking() {
+		s += fmt.Sprintf(" gemm=%dx%dx%d", p.Blocking.MC, p.Blocking.KC, p.Blocking.NC)
+	}
+	return s
+}
+
+// Options bounds the enumeration. Zero fields take defaults.
+type Options struct {
+	Ranks     int                 // world size the plan is for (required)
+	Workers   []int               // worker pool sizes (default 1, 2, 4)
+	Depths    []int               // pipeline depths (default 2, 3)
+	Blockings []linalg.BlockSizes // GEMM blockings (default: compiled-in ± one step)
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Ranks < 1 {
+		return o, fmt.Errorf("plan: world size %d", o.Ranks)
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4}
+	}
+	if len(o.Depths) == 0 {
+		o.Depths = []int{2, 3}
+	}
+	if len(o.Blockings) == 0 {
+		d := linalg.DefaultBlocking()
+		o.Blockings = []linalg.BlockSizes{
+			d,
+			{MC: d.MC / 2, KC: d.KC / 2, NC: d.NC / 2},
+			{MC: d.MC * 2, KC: d.KC, NC: d.NC * 2},
+		}
+	}
+	return o, nil
+}
+
+// Candidates enumerates the schedule search space: the serial phases
+// baseline, the overlapped schedule per worker count, and the pipelined
+// schedule per worker count × window depth. Blocking is orthogonal (it
+// never changes results or the graph shape) and is chosen separately by
+// measurement.
+func Candidates(o Options) []Candidate {
+	cands := []Candidate{{Schedule: dist.SchedulePhases, Workers: 1}}
+	for _, w := range o.Workers {
+		cands = append(cands, Candidate{Schedule: dist.ScheduleOverlap, Workers: w})
+	}
+	for _, w := range o.Workers {
+		for _, d := range o.Depths {
+			cands = append(cands, Candidate{Schedule: dist.SchedulePipeline, Workers: w, PipelineDepth: d})
+		}
+	}
+	return cands
+}
+
+// Predict scores one candidate: the modeled steady-state makespan of one
+// self-consistent iteration on the most-loaded rank, in nanoseconds of
+// virtual time. Phases is scored with stream.Makespan (its execution
+// really is a FIFO of phase-sized operations over a compute and a copy
+// engine); the graph schedules are scored with sdfg.Simulate on a model
+// of the per-rank task graph dist actually builds.
+func Predict(p device.Params, ranks int, cal Calibration, c Candidate) float64 {
+	nEl := ceilDiv(len(negf.AllPairs(p)), ranks)
+	nPh := ceilDiv(len(negf.AllPhononPoints(p)), ranks)
+	elNs := cal.BCWarmNs + cal.ElNs
+	phNs := cal.PhBCWarmNs + cal.PhNs
+	exchNs := model.DaCeCommVolume(p, 1, ranks) / float64(ranks) * cal.CopyNsPerByte
+	tileNs := cal.TileNs / float64(ranks)
+
+	switch c.Schedule {
+	case dist.SchedulePhases:
+		// One rank's iteration is a strict FIFO: the GF phase computes,
+		// the exchange copies, the tile computes, the reduction copies.
+		return stream.Makespan([]stream.Task{
+			{Compute: float64(nEl)*elNs + float64(nPh)*phNs, CopyOut: exchNs},
+			{Compute: tileNs + cal.MiscNs, CopyOut: cal.ReduceNs},
+		}, 1)
+	case dist.ScheduleOverlap:
+		g := &sdfg.Graph{}
+		addIteration(g, nil, nEl, nPh, elNs, phNs, exchNs, tileNs, cal)
+		return sdfg.Simulate(g, c.Workers)
+	case dist.SchedulePipeline:
+		d := c.PipelineDepth
+		if d < 1 {
+			d = 1
+		}
+		g := &sdfg.Graph{}
+		var release []sdfg.NodeID
+		for k := 0; k < d; k++ {
+			release = addIteration(g, release, nEl, nPh, elNs, phNs, exchNs, tileNs, cal)
+		}
+		return sdfg.Simulate(g, c.Workers) / float64(d)
+	}
+	return 0
+}
+
+// addIteration appends one iteration's model nodes to g and returns the
+// release set the next iteration's solves must wait on (exchanged +
+// mixed Σ, i.e. the tile and the residual mixing work). The observable
+// reduction hangs off the side: nothing within the window depends on it,
+// which is exactly the latency the pipelined schedule hides.
+func addIteration(g *sdfg.Graph, after []sdfg.NodeID, nEl, nPh int, elNs, phNs, exchNs, tileNs float64, cal Calibration) []sdfg.NodeID {
+	solves := make([]sdfg.NodeID, 0, nEl+nPh)
+	for i := 0; i < nEl; i++ {
+		solves = append(solves, g.Add(sdfg.Spec{Label: "el", Cost: elNs}, after...))
+	}
+	for j := 0; j < nPh; j++ {
+		solves = append(solves, g.Add(sdfg.Spec{Label: "ph", Cost: phNs}, after...))
+	}
+	exch := g.Add(sdfg.Spec{Label: "exch", Kind: sdfg.Comm, Cost: exchNs}, solves...)
+	tile := g.Add(sdfg.Spec{Label: "tile", Cost: tileNs}, exch)
+	mix := g.Add(sdfg.Spec{Label: "mix", Cost: cal.MiscNs}, tile)
+	g.Add(sdfg.Spec{Label: "reduce", Kind: sdfg.Comm, Cost: cal.ReduceNs}, tile, mix)
+	return []sdfg.NodeID{mix}
+}
+
+// Choose calibrates, scores every candidate, measures the GEMM blocking
+// candidates, and returns the argmin plan. Ties (within 1%) resolve
+// toward the earlier — simpler — candidate, so phases beats overlap
+// beats pipeline when the model sees no benefit.
+func Choose(dev *device.Device, o Options) (Plan, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return Plan{}, err
+	}
+	cal, err := Calibrate(dev)
+	if err != nil {
+		return Plan{}, err
+	}
+	return chooseWith(dev, o, cal)
+}
+
+func chooseWith(dev *device.Device, o Options, cal Calibration) (Plan, error) {
+	best, bestNs := Candidate{}, 0.0
+	for i, c := range Candidates(o) {
+		ns := Predict(dev.P, o.Ranks, cal, c)
+		if i == 0 || ns < bestNs*0.99 {
+			best, bestNs = c, ns
+		}
+	}
+	bl, err := ChooseBlocking(dev, o.Blockings)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Candidate: best, Blocking: bl, PredictedNs: bestNs}, nil
+}
+
+// ChooseBlocking times a representative GEMM (the device's largest
+// diagonal block, the shape every RGF step multiplies) under each
+// candidate blocking and returns the fastest, preferring the
+// compiled-in default within a 3% band — measured noise should not
+// evict a hand-tuned setting.
+func ChooseBlocking(dev *device.Device, cands []linalg.BlockSizes) (linalg.BlockSizes, error) {
+	n := 0
+	for _, s := range dev.Hamiltonian(0).Sizes {
+		if s > n {
+			n = s
+		}
+	}
+	if n < 8 {
+		n = 8
+	}
+	a, b, c := linalg.New(n, n), linalg.New(n, n), linalg.New(n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		b.Data[i] = complex(float64(i%3)-1, float64(i%11)-5)
+	}
+	def := linalg.DefaultBlocking()
+	defer linalg.ResetBlocking()
+	bestBl, bestNs, defNs := def, 0.0, 0.0
+	for _, bl := range cands {
+		if err := linalg.SetBlocking(bl); err != nil {
+			return def, fmt.Errorf("plan: blocking candidate: %w", err)
+		}
+		ns := 0.0
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			linalg.GEMM(1, a, linalg.NoTrans, b, linalg.NoTrans, 0, c)
+			if d := float64(time.Since(t0).Nanoseconds()); rep == 0 || d < ns {
+				ns = d
+			}
+		}
+		if bl == def {
+			defNs = ns
+		}
+		if bestNs == 0 || ns < bestNs {
+			bestBl, bestNs = bl, ns
+		}
+	}
+	if defNs > 0 && bestNs > defNs*0.97 {
+		return def, nil
+	}
+	return bestBl, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/linalg"
 )
 
 // RunConfig is the exported, JSON-stable form of a resolved experiment
@@ -39,6 +41,20 @@ type RunConfig struct {
 	TileE           int     `json:"tile_e,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	ErrorProbe      bool    `json:"error_probe,omitempty"`
+	// PipelineDepth is the iteration-window size of the pipeline
+	// schedule (qt.WithPipelineDepth; 0 = the dist default).
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// AutoPlan records that the plan knobs were (or are to be) chosen by
+	// the autotuner. In a resolved configuration (Simulation.Config
+	// output) Schedule is always non-empty alongside it — that is how
+	// NewFromConfig tells a resolved plan from a bare auto-plan request,
+	// which it resolves by probing at New. The resolved knobs take part
+	// in the content hash: two runs planned differently are different
+	// artifacts.
+	AutoPlan bool `json:"auto_plan,omitempty"`
+	// GemmBlocking is a resolved GEMM cache blocking ("MCxKCxNC"),
+	// recorded when a plan installed one.
+	GemmBlocking string `json:"gemm_blocking,omitempty"`
 	// Trace enables per-phase span recording (qt.WithTrace). It is part
 	// of the hashed configuration: a traced and an untraced run are
 	// different artifacts (the trace is part of the result), so they
@@ -68,10 +84,21 @@ func (s *Simulation) Config() RunConfig {
 		TileE:           te,
 		Workers:         c.workers,
 		ErrorProbe:      c.errorProbe,
+		PipelineDepth:   c.pipelineDepth,
+		AutoPlan:        c.autoPlan,
 		Trace:           c.trace,
 	}
 	if c.schedule != Phases {
 		rc.Schedule = c.schedule.String()
+	}
+	if c.autoPlan {
+		// A resolved plan records its schedule even when it is the
+		// phases default: a non-empty Schedule next to AutoPlan is the
+		// resolved-plan marker NewFromConfig keys on.
+		rc.Schedule = c.schedule.String()
+	}
+	if c.blocking != (linalg.BlockSizes{}) {
+		rc.GemmBlocking = fmt.Sprintf("%dx%dx%d", c.blocking.MC, c.blocking.KC, c.blocking.NC)
 	}
 	if c.precision != FP64 {
 		rc.Precision = c.precision.String()
@@ -141,6 +168,24 @@ func (rc RunConfig) Options() ([]Option, error) {
 	}
 	if rc.ErrorProbe {
 		opts = append(opts, WithErrorProbe())
+	}
+	if rc.PipelineDepth > 0 {
+		opts = append(opts, WithPipelineDepth(rc.PipelineDepth))
+	}
+	if rc.AutoPlan {
+		opts = append(opts, WithAutoPlan())
+		if rc.Schedule != "" {
+			// The plan knobs present in the config are a recorded
+			// resolution — use them verbatim instead of re-probing.
+			opts = append(opts, withResolvedPlan())
+		}
+	}
+	if rc.GemmBlocking != "" {
+		var bs linalg.BlockSizes
+		if _, err := fmt.Sscanf(rc.GemmBlocking, "%dx%dx%d", &bs.MC, &bs.KC, &bs.NC); err != nil {
+			return nil, fmt.Errorf("qt: gemm_blocking %q: want MCxKCxNC", rc.GemmBlocking)
+		}
+		opts = append(opts, withGemmBlocking(bs))
 	}
 	if rc.Trace {
 		opts = append(opts, WithTrace())

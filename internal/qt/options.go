@@ -6,6 +6,7 @@ import (
 	"repro/internal/bc"
 	"repro/internal/device"
 	"repro/internal/dist"
+	"repro/internal/linalg"
 	"repro/internal/sse"
 )
 
@@ -31,6 +32,15 @@ type config struct {
 	errorProbe bool
 	trace      bool
 	warm       *SigmaState // sequential-only Σ≷/Π≷ seed; nil = cold start
+
+	pipelineDepth int // 0 = dist default; only valid with Pipeline
+	// autoPlan defers schedule/workers/depth/blocking to the internal/plan
+	// autotuner; planResolved marks a configuration whose resolved knobs
+	// are already present (the RunConfig round-trip), so New must not
+	// re-probe. blocking, when non-zero, is installed process-wide at New.
+	autoPlan     bool
+	planResolved bool
+	blocking     linalg.BlockSizes
 }
 
 func defaultConfig(spec Spec) config {
@@ -61,14 +71,64 @@ func WithRanks(p int) Option {
 	}
 }
 
-// WithSchedule selects the distributed execution schedule. Overlap
-// requires WithRanks.
+// WithSchedule selects the distributed execution schedule. Overlap and
+// Pipeline require WithRanks.
 func WithSchedule(s Schedule) Option {
 	return func(c *config) error {
-		if s != Phases && s != Overlap {
+		if s != Phases && s != Overlap && s != Pipeline {
 			return fmt.Errorf("WithSchedule: unknown schedule %d", s)
 		}
 		c.schedule = s
+		return nil
+	}
+}
+
+// WithPipelineDepth sets the iteration-window size of the Pipeline
+// schedule: how many self-consistent iterations the task graph spans at
+// once (the dist default is 2 when unset). Depth 1 degenerates to a
+// fenced overlap schedule. Requires WithSchedule(Pipeline).
+func WithPipelineDepth(d int) Option {
+	return func(c *config) error {
+		if d < 1 {
+			return fmt.Errorf("WithPipelineDepth: depth must be >= 1, got %d", d)
+		}
+		c.pipelineDepth = d
+		return nil
+	}
+}
+
+// WithAutoPlan hands schedule, worker pool, pipeline depth and GEMM
+// cache blocking to the internal/plan autotuner: New runs a short
+// calibration probe on the built device, scores every candidate plan in
+// the virtual-time cost model, and applies the argmin. The resolved
+// plan is written into the configuration (visible in Config and part of
+// the content hash), so a cached or re-built run keeps the exact plan it
+// was solved with instead of re-probing. Requires WithRanks; conflicts
+// with explicitly setting any knob the planner owns (WithSchedule,
+// WithWorkers, WithPipelineDepth) and with WithErrorProbe (the probe
+// cannot ride a pipelined window, which the planner may select).
+func WithAutoPlan() Option {
+	return func(c *config) error {
+		c.autoPlan = true
+		return nil
+	}
+}
+
+// withResolvedPlan marks the configuration's plan knobs as the recorded
+// output of a previous auto-plan resolution — the RunConfig.Options
+// round-trip path. New skips the probe and uses the knobs as given.
+func withResolvedPlan() Option {
+	return func(c *config) error {
+		c.planResolved = true
+		return nil
+	}
+}
+
+// withGemmBlocking records a resolved GEMM cache blocking to install at
+// New (the serialized-plan path; WithAutoPlan sets it directly).
+func withGemmBlocking(bs linalg.BlockSizes) Option {
+	return func(c *config) error {
+		c.blocking = bs
 		return nil
 	}
 }
@@ -248,14 +308,20 @@ func (c *config) validate() error {
 	}
 	if c.ranks == 0 {
 		// Sequential solver.
-		if c.schedule == Overlap {
-			return fmt.Errorf("WithSchedule(Overlap) requires WithRanks")
+		if c.schedule != Phases {
+			return fmt.Errorf("WithSchedule(%v) requires WithRanks", c.schedule)
 		}
 		if c.ta != 0 || c.te != 0 {
 			return fmt.Errorf("WithTiles requires WithRanks")
 		}
 		if c.workers != 0 {
 			return fmt.Errorf("WithWorkers requires WithRanks")
+		}
+		if c.pipelineDepth != 0 {
+			return fmt.Errorf("WithPipelineDepth requires WithRanks")
+		}
+		if c.autoPlan {
+			return fmt.Errorf("WithAutoPlan requires WithRanks: the planner chooses among distributed schedules")
 		}
 		if c.kernel == Baseline && c.precision == Mixed {
 			return fmt.Errorf("WithKernel(Baseline) conflicts with WithPrecision(Mixed): the baseline loop nest has no binary16 form")
@@ -276,6 +342,20 @@ func (c *config) validate() error {
 		}
 		if c.anderson {
 			return fmt.Errorf("WithAnderson requires the sequential solver")
+		}
+		if c.pipelineDepth != 0 && c.schedule != Pipeline {
+			return fmt.Errorf("WithPipelineDepth requires WithSchedule(Pipeline)")
+		}
+		if c.schedule == Pipeline && c.errorProbe {
+			return fmt.Errorf("WithErrorProbe conflicts with WithSchedule(Pipeline): the probe's blocking max-reduction would serialize the iteration window")
+		}
+		if c.autoPlan {
+			if c.errorProbe {
+				return fmt.Errorf("WithErrorProbe conflicts with WithAutoPlan: the planner may select the pipelined schedule, which cannot run the probe")
+			}
+			if !c.planResolved && (c.schedule != Phases || c.workers != 0 || c.pipelineDepth != 0) {
+				return fmt.Errorf("WithAutoPlan owns the schedule, worker and pipeline-depth knobs: drop WithSchedule/WithWorkers/WithPipelineDepth")
+			}
 		}
 		if err := c.distOptions(nil).Validate(); err != nil {
 			return err
@@ -300,8 +380,12 @@ func (c *config) distOptions(progress func(dist.IterStats) error) dist.Options {
 	o.Mixing = c.mixing
 	o.MaxIter = c.maxIter
 	o.Tol = c.tol
-	if c.schedule == Overlap {
+	switch c.schedule {
+	case Overlap:
 		o.Schedule = dist.ScheduleOverlap
+	case Pipeline:
+		o.Schedule = dist.SchedulePipeline
+		o.PipelineDepth = c.pipelineDepth
 	}
 	if c.workers > 0 {
 		o.Workers = c.workers

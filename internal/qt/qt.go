@@ -176,11 +176,20 @@ const (
 	// Overlap runs each iteration as a dataflow graph on a work-stealing
 	// pool with nonblocking exchanges (§7.1.3).
 	Overlap
+	// Pipeline extends the Overlap graph across a window of
+	// self-consistent iterations: the next iteration's boundary solves
+	// and GF points start as soon as their mixed Σ is available, with a
+	// correctness fence discarding speculated work once convergence or
+	// cancellation lands. See WithPipelineDepth for the window size.
+	Pipeline
 )
 
 func (s Schedule) String() string {
-	if s == Overlap {
+	switch s {
+	case Overlap:
 		return "overlap"
+	case Pipeline:
+		return "pipeline"
 	}
 	return "phases"
 }
@@ -195,8 +204,10 @@ func ParseSchedule(s string) (Schedule, error) {
 		return Phases, nil
 	case "overlap":
 		return Overlap, nil
+	case "pipeline":
+		return Pipeline, nil
 	}
-	return Phases, fmt.Errorf("qt: unknown schedule %q (want phases or overlap)", s)
+	return Phases, fmt.Errorf("qt: unknown schedule %q (want phases, overlap or pipeline)", s)
 }
 
 // Precision selects the SSE arithmetic (§5.4).

@@ -64,6 +64,22 @@ func TestOptionValidation(t *testing.T) {
 		{"custom kernel plus mixed", Spec{}, []Option{WithSSEKernel(sse.DaCe{}), WithPrecision(Mixed)}, "WithSSEKernel"},
 		{"nil custom kernel", Spec{}, []Option{WithSSEKernel(nil)}, "WithSSEKernel"},
 		{"unknown schedule", Spec{}, []Option{WithRanks(2), WithSchedule(Schedule(7))}, "WithSchedule"},
+		{"pipeline needs ranks", Spec{}, []Option{WithSchedule(Pipeline)}, "WithRanks"},
+		{"pipeline ok", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline)}, ""},
+		{"pipeline with depth", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithPipelineDepth(3)}, ""},
+		{"depth zero", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithPipelineDepth(0)}, "WithPipelineDepth"},
+		{"depth negative", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithPipelineDepth(-1)}, "WithPipelineDepth"},
+		{"depth needs ranks", Spec{}, []Option{WithPipelineDepth(2)}, "WithRanks"},
+		{"depth needs pipeline", Spec{}, []Option{WithRanks(2), WithPipelineDepth(2)}, "WithSchedule(Pipeline)"},
+		{"depth under overlap", Spec{}, []Option{WithRanks(2), WithSchedule(Overlap), WithPipelineDepth(2)}, "WithSchedule(Pipeline)"},
+		{"pipeline probe fp64", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithErrorProbe()}, "WithErrorProbe"},
+		{"pipeline probe mixed", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithPrecision(Mixed), WithErrorProbe()}, "WithErrorProbe"},
+		{"pipeline mixed ok", Spec{}, []Option{WithRanks(2), WithSchedule(Pipeline), WithPrecision(Mixed)}, ""},
+		{"autoplan needs ranks", Spec{}, []Option{WithAutoPlan()}, "WithRanks"},
+		{"autoplan owns schedule", Spec{}, []Option{WithRanks(2), WithAutoPlan(), WithSchedule(Overlap)}, "WithAutoPlan owns"},
+		{"autoplan owns workers", Spec{}, []Option{WithRanks(2), WithAutoPlan(), WithWorkers(2)}, "WithAutoPlan owns"},
+		{"autoplan owns depth", Spec{}, []Option{WithRanks(2), WithAutoPlan(), WithPipelineDepth(2)}, "WithSchedule(Pipeline)"},
+		{"autoplan no probe", Spec{}, []Option{WithRanks(2), WithAutoPlan(), WithPrecision(Mixed), WithErrorProbe()}, "WithAutoPlan"},
 		{"unknown precision", Spec{}, []Option{WithPrecision(Precision(7))}, "WithPrecision"},
 		{"unknown kernel", Spec{}, []Option{WithKernel(Kernel(7))}, "WithKernel"},
 	}

@@ -38,8 +38,13 @@ type IterStats struct {
 	FallbackBlocks int64 `json:"fallback_blocks,omitempty"`
 
 	WallNs    int64 `json:"wall_ns"`    // measured iteration wall time (rank 0 for distributed)
-	ComputeNs int64 `json:"compute_ns"` // rank-0 summed compute-task time (Overlap only)
-	CommNs    int64 `json:"comm_ns"`    // rank-0 summed communication-task time (Overlap only)
+	ComputeNs int64 `json:"compute_ns"` // rank-0 summed compute-task time (Overlap/Pipeline)
+	CommNs    int64 `json:"comm_ns"`    // rank-0 summed communication-task time (Overlap/Pipeline)
+
+	// Plan announces the resolved execution plan (Simulation.PlanString)
+	// on the first streamed row of a distributed run; later rows leave it
+	// empty — the plan cannot change mid-run.
+	Plan string `json:"plan,omitempty"`
 }
 
 // residual sanitizes the solvers' relative change: the first iteration
@@ -226,8 +231,12 @@ func (s *Simulation) runSequential(ctx context.Context, r *Run, tracer *obs.Trac
 // runDistributed drives the dist solver under the facade contract.
 func (s *Simulation) runDistributed(ctx context.Context, r *Run, tracer *obs.Tracer) (*Result, error) {
 	trace := []IterStats{}
+	planStr := s.PlanString()
 	do := s.cfg.distOptions(func(st dist.IterStats) error {
 		u := fromDistributed(st)
+		if len(trace) == 0 {
+			u.Plan = planStr
+		}
 		trace = append(trace, u)
 		r.emit(u)
 		return ctx.Err()

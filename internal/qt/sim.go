@@ -5,7 +5,10 @@ import (
 
 	"repro/internal/bc"
 	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/linalg"
 	"repro/internal/negf"
+	"repro/internal/plan"
 	"repro/internal/sse"
 )
 
@@ -48,10 +51,67 @@ func New(spec Spec, opts ...Option) (*Simulation, error) {
 			return nil, fmt.Errorf("qt: WithWarmStart: %w", err)
 		}
 	}
+	if cfg.autoPlan && !cfg.planResolved {
+		// Resolve the execution plan against the actual device: a short
+		// calibration probe, then the argmin over the enumerated
+		// candidates in the virtual-time cost model. The resolved knobs
+		// become part of the configuration (and its content hash), so
+		// rebuilding from Config keeps this plan instead of re-probing.
+		pl, err := plan.Choose(dev, plan.Options{Ranks: cfg.ranks})
+		if err != nil {
+			return nil, fmt.Errorf("qt: auto plan: %w", err)
+		}
+		switch pl.Schedule {
+		case dist.ScheduleOverlap:
+			cfg.schedule = Overlap
+		case dist.SchedulePipeline:
+			cfg.schedule = Pipeline
+		default:
+			cfg.schedule = Phases
+		}
+		cfg.workers = pl.Workers
+		cfg.pipelineDepth = pl.PipelineDepth
+		cfg.blocking = pl.Blocking
+		cfg.planResolved = true
+	}
+	if cfg.blocking != (linalg.BlockSizes{}) {
+		if err := linalg.SetBlocking(cfg.blocking); err != nil {
+			return nil, fmt.Errorf("qt: %w", err)
+		}
+	}
 	// Reflect option-level overrides back into the exported Spec so it
 	// always reports what is actually solved.
 	spec.Bias = cfg.params.Vds
 	return &Simulation{Spec: spec, Device: dev, cfg: cfg}, nil
+}
+
+// PlanString renders the resolved execution plan of a distributed
+// configuration ("pipeline w=2 d=2", with "[auto]" when the autotuner
+// chose it) — what report and the qtd registry surface per run. Empty
+// for sequential configurations.
+func (s *Simulation) PlanString() string {
+	if s.cfg.ranks == 0 {
+		return ""
+	}
+	o := s.cfg.distOptions(nil)
+	str := o.Schedule.String()
+	if s.cfg.workers > 0 {
+		str += fmt.Sprintf(" w=%d", s.cfg.workers)
+	}
+	if s.cfg.schedule == Pipeline {
+		d := s.cfg.pipelineDepth
+		if d == 0 {
+			d = 2 // the dist default
+		}
+		str += fmt.Sprintf(" d=%d", d)
+	}
+	if s.cfg.blocking != (linalg.BlockSizes{}) && s.cfg.blocking != linalg.DefaultBlocking() {
+		str += fmt.Sprintf(" gemm=%dx%dx%d", s.cfg.blocking.MC, s.cfg.blocking.KC, s.cfg.blocking.NC)
+	}
+	if s.cfg.autoPlan {
+		str += " [auto]"
+	}
+	return str
 }
 
 // Ranks reports the configured world size (0 = sequential solver).

@@ -41,7 +41,7 @@ func fixedRun() *Run {
 			MomentumPoints: 3, EnergyPoints: 12, PhononModes: 3,
 			Bias: 0.3, Temperature: 300,
 		},
-		Kernel: "dace", Ranks: 2, Schedule: "overlap",
+		Kernel: "dace", Ranks: 2, Schedule: "overlap", Plan: "overlap w=2",
 		Converged: false, WallNs: 149_000_000,
 		Trace: fixedTrace(),
 

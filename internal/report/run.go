@@ -46,10 +46,15 @@ type SlabRow struct {
 // Run is the report of one facade solve — the structured core of the
 // former qtsim output, keyed on the unified telemetry schema.
 type Run struct {
-	Device    DeviceInfo     `json:"device"`
-	Kernel    string         `json:"kernel"`
-	Ranks     int            `json:"ranks"` // 0 = sequential
-	Schedule  string         `json:"schedule,omitempty"`
+	Device   DeviceInfo `json:"device"`
+	Kernel   string     `json:"kernel"`
+	Ranks    int        `json:"ranks"` // 0 = sequential
+	Schedule string     `json:"schedule,omitempty"`
+	// Plan is the resolved execution plan (Simulation.PlanString), e.g.
+	// "pipeline w=2 d=2 [auto]" — schedule, workers, pipeline depth and
+	// the [auto] marker when the plan came from the cost-model autotuner.
+	// Empty for sequential runs.
+	Plan      string         `json:"plan,omitempty"`
 	Converged bool           `json:"converged"`
 	WallNs    int64          `json:"wall_ns"`
 	Trace     []qt.IterStats `json:"trace"`
@@ -77,7 +82,12 @@ func (r *Run) Text(w io.Writer) error {
 	}
 	solver := "sequential"
 	if r.Ranks > 0 {
-		solver = fmt.Sprintf("distributed P=%d (%s)", r.Ranks, r.Schedule)
+		// The resolved plan subsumes the bare schedule name when known.
+		label := r.Schedule
+		if r.Plan != "" {
+			label = r.Plan
+		}
+		solver = fmt.Sprintf("distributed P=%d (%s)", r.Ranks, label)
 	}
 	pf("device: Na=%d bnum=%d Norb=%d Nb<=%d | grid: Nkz=%d NE=%d Nω=%d | Vds=%.2f V, T=%g K\n",
 		r.Device.Atoms, r.Device.Slabs, r.Device.Orbitals, r.Device.MaxNeighbours,
@@ -161,6 +171,7 @@ func NewRun(sim *qt.Simulation, res *qt.Result, kernel string, wallNs int64) *Ru
 		Device:    NewDeviceInfo(sim.Device),
 		Kernel:    kernel,
 		Ranks:     sim.Ranks(),
+		Plan:      sim.PlanString(),
 		Converged: res.Converged,
 		WallNs:    wallNs,
 		Trace:     res.Trace,

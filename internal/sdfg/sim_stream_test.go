@@ -1,0 +1,134 @@
+package sdfg
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// streamGraph lowers a stream task set onto an sdfg graph the way the
+// two models correspond: one rank with one compute worker is exactly
+// stream's two-engine GPU (compute engine + copy engine), a stream is a
+// dependency chain, and tasks are assigned to chains round-robin. Ops
+// are added stream-major in ascending stream order so the id tie-break
+// matches stream.Makespan's ascending-stream tie-break.
+func streamGraph(tasks []stream.Task, streams int) *Graph {
+	g := New()
+	if streams < 1 {
+		streams = 1
+	}
+	for s := 0; s < streams; s++ {
+		var prev []NodeID
+		for i := s; i < len(tasks); i += streams {
+			t := tasks[i]
+			for _, op := range []struct {
+				kind Kind
+				cost float64
+			}{{Comm, t.CopyIn}, {Compute, t.Compute}, {Comm, t.CopyOut}} {
+				if op.cost == 0 {
+					continue // Makespan drops zero-duration ops
+				}
+				id := g.Add(Spec{Label: "op", Kind: op.kind, Cost: op.cost}, prev...)
+				prev = []NodeID{id}
+			}
+		}
+	}
+	return g
+}
+
+// TestSimulateMatchesStreamMakespan reconciles the repo's two cost
+// models: on any stream-shaped workload, Simulate(lowered graph, 1
+// worker) and stream.Makespan are the same greedy two-engine schedule
+// and must agree exactly. This is the contract that lets internal/plan
+// score the phases schedule with one model and the graph schedules with
+// the other without mixing units.
+func TestSimulateMatchesStreamMakespan(t *testing.T) {
+	// Irregular durations: no two ops share a cost, so the greedy
+	// tie-break never has to disambiguate equal start times beyond the
+	// shared ascending-stream rule.
+	tasks := []stream.Task{
+		{CopyIn: 3, Compute: 7.5, CopyOut: 2},
+		{CopyIn: 1, Compute: 4.25, CopyOut: 6},
+		{CopyIn: 5, Compute: 2.125, CopyOut: 1.5},
+		{CopyIn: 2.5, Compute: 8, CopyOut: 3.5},
+		{CopyIn: 0, Compute: 9, CopyOut: 0.75}, // zero op: dropped by both lowerings
+	}
+	for _, streams := range []int{1, 2, 3, 8} {
+		want := stream.Makespan(tasks, streams)
+		got := Simulate(streamGraph(tasks, streams), 1)
+		if got != want {
+			t.Errorf("streams=%d: Simulate %.6g != Makespan %.6g", streams, got, want)
+		}
+	}
+	// Fully serial sanity: one stream is the sum of every op.
+	sum := 0.0
+	for _, tk := range tasks {
+		sum += tk.CopyIn + tk.Compute + tk.CopyOut
+	}
+	if got := stream.Makespan(tasks, 1); got != sum {
+		t.Errorf("1-stream makespan %.6g != serial sum %.6g", got, sum)
+	}
+}
+
+// TestCostModelEdgeCases pins the degenerate inputs of both models.
+func TestCostModelEdgeCases(t *testing.T) {
+	if got := stream.Makespan(nil, 4); got != 0 {
+		t.Errorf("empty task set: Makespan = %g", got)
+	}
+	if got := Simulate(New(), 3); got != 0 {
+		t.Errorf("empty graph: Simulate = %g", got)
+	}
+
+	one := []stream.Task{{CopyIn: 2, Compute: 5, CopyOut: 3}}
+	if got := stream.Makespan(one, 1); got != 10 {
+		t.Errorf("single task: Makespan = %g, want 10", got)
+	}
+	if got := stream.Makespan(one, 16); got != 10 {
+		t.Errorf("single task, excess streams: Makespan = %g, want 10", got)
+	}
+	if got := Simulate(streamGraph(one, 1), 1); got != 10 {
+		t.Errorf("single task graph: Simulate = %g, want 10", got)
+	}
+
+	g := New()
+	g.Add(Spec{Label: "solo", Cost: 4.5})
+	if got := Simulate(g, 1); got != 4.5 {
+		t.Errorf("single node: Simulate = %g, want 4.5", got)
+	}
+	if got := Simulate(g, 0); got != 4.5 {
+		t.Errorf("workers clamp: Simulate = %g, want 4.5", got)
+	}
+
+	// Workers beyond the node count change nothing.
+	g2 := New()
+	for i := 0; i < 3; i++ {
+		g2.Add(Spec{Label: "p", Cost: float64(i + 1)})
+	}
+	if a, b := Simulate(g2, 3), Simulate(g2, 64); a != b || a != 3 {
+		t.Errorf("independent nodes: Simulate(3)=%g Simulate(64)=%g, want 3", a, b)
+	}
+}
+
+// TestSimulatePhasedGraph checks the A/B the plan autotuner relies on:
+// on a phased graph the barriers serialize the phases, so the phased
+// makespan is the sum of per-phase makespans and never beats the
+// unphased graph.
+func TestSimulatePhasedGraph(t *testing.T) {
+	g := New()
+	var gf []NodeID
+	for i := 0; i < 4; i++ {
+		gf = append(gf, g.Add(Spec{Label: "gf", Phase: 0, Cost: 5}))
+	}
+	ex := g.Add(Spec{Label: "exch", Kind: Comm, Phase: 1, Cost: 3}, gf...)
+	g.Add(Spec{Label: "tile", Phase: 1, Cost: 2}, ex)
+
+	unphased := Simulate(g, 2)
+	phased := Simulate(g.Phased(), 2)
+	// 4 solves on 2 workers = 10, then exchange 3, then tile 2.
+	if want := 15.0; unphased != want {
+		t.Errorf("unphased makespan %g, want %g", unphased, want)
+	}
+	if phased < unphased {
+		t.Errorf("phased %g beats unphased %g: barriers cannot help", phased, unphased)
+	}
+}

@@ -477,7 +477,8 @@ func (s *Server) execute(j *job) {
 	s.met.observeRun(j.tenant, rec.Status, wall.Seconds(), res)
 	s.log.Info("finished", "run", j.id, "tenant", j.tenant,
 		"status", string(rec.Status), "converged", rec.Converged,
-		"iterations", rec.Iterations, "wall_ms", wall.Milliseconds())
+		"iterations", rec.Iterations, "wall_ms", wall.Milliseconds(),
+		"plan", sim.PlanString())
 }
 
 // kernelName is the report label of the configuration's SSE kernel.

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/linalg"
 	"repro/internal/qt"
 )
 
@@ -426,5 +427,45 @@ func TestServiceRegistryAndReport(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("invalid config = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServiceAutoPlanRegistry: an auto-plan submission resolves its
+// execution plan at admission (qt.NewFromConfig runs the autotuner), so
+// the registry record carries the concrete schedule/worker/depth choice
+// from the first Put, and the finished report names the plan with its
+// [auto] marker.
+func TestServiceAutoPlanRegistry(t *testing.T) {
+	defer linalg.ResetBlocking()
+	s, ts := newService(t, Config{Slots: 1, QueueCap: 4})
+	rc := qt.RunConfig{Spec: smallSpec(0.3), Ranks: 2, AutoPlan: true,
+		MaxIterations: 3, Tolerance: 1e-300}
+	rec := postRun(t, ts, "acme", 0, rc, http.StatusAccepted)
+	if !rec.Config.AutoPlan || rec.Config.Schedule == "" {
+		t.Fatalf("admission record lacks the resolved plan: %+v", rec.Config)
+	}
+	if rec.Config.Workers < 1 {
+		t.Fatalf("resolved plan has no worker choice: %+v", rec.Config)
+	}
+
+	done := waitForStatus(t, s, rec.ID, StatusDone)
+	if done.Config != rec.Config {
+		t.Errorf("resolved plan drifted between admission and completion:\n  %+v\n  %+v",
+			rec.Config, done.Config)
+	}
+	if done.Report == nil || !strings.Contains(done.Report.Plan, "[auto]") {
+		t.Errorf("finished report does not name the auto plan: %+v", done.Report)
+	}
+
+	// The registry view over HTTP exposes the same resolved config.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Config.Schedule != rec.Config.Schedule || !got.Config.AutoPlan {
+		t.Errorf("HTTP record lost the plan: %+v", got.Config)
 	}
 }
